@@ -1,0 +1,57 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These do not correspond to a paper table; they quantify the two main design
+decisions of this reproduction on the IMDB+OMDB dataset:
+
+* **clause reduction** (``reduce_clauses``) — dropping literals whose removal
+  does not cover extra negatives after generalisation; and
+* **top-``k_m`` similarity matches** — the size of the precomputed match list,
+  which trades recall of the MD join against bottom-clause size and runtime.
+"""
+
+from __future__ import annotations
+
+from repro import DLearn
+from repro.data import generate
+from repro.evaluation import Stopwatch, confusion, train_test_split
+
+
+def _fit_and_score(dataset, config):
+    train, test = train_test_split(dataset.examples, test_fraction=0.25, seed=0)
+    problem = dataset.problem(examples=train, use_cfds=False)
+    with Stopwatch() as watch:
+        model = DLearn(config.but(use_cfds=False)).fit(problem)
+    matrix = confusion(model.predict(test.all()), [example.positive for example in test.all()])
+    literals = sum(len(clause.body) for clause in model.clauses)
+    return matrix, watch.seconds, literals, len(model.clauses)
+
+
+def test_ablation_clause_reduction(benchmark, bench_config, imdb_kwargs):
+    dataset = generate("imdb_omdb", **imdb_kwargs)
+
+    def run():
+        with_reduction = _fit_and_score(dataset, bench_config.but(reduce_clauses=True, top_k_matches=2))
+        without_reduction = _fit_and_score(dataset, bench_config.but(reduce_clauses=False, top_k_matches=2))
+        return with_reduction, without_reduction
+
+    (with_red, without_red) = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation — clause reduction (IMDB+OMDB, km=2)")
+    print(f"  with reduction   : F1={with_red[0].f1:.2f} literals={with_red[2]} clauses={with_red[3]} time={with_red[1]:.1f}s")
+    print(f"  without reduction: F1={without_red[0].f1:.2f} literals={without_red[2]} clauses={without_red[3]} time={without_red[1]:.1f}s")
+    # Reduction must never make the definitions larger.
+    assert with_red[2] <= without_red[2]
+
+
+def test_ablation_top_k_matches(benchmark, bench_config, imdb_kwargs):
+    dataset = generate("imdb_omdb", **imdb_kwargs)
+
+    def run():
+        return {km: _fit_and_score(dataset, bench_config.but(top_k_matches=km)) for km in (1, 5)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation — top-k_m similarity matches (IMDB+OMDB)")
+    for km, (matrix, seconds, literals, clauses) in results.items():
+        print(f"  km={km}: F1={matrix.f1:.2f} literals={literals} time={seconds:.1f}s")
+    assert set(results) == {1, 5}

@@ -1,0 +1,36 @@
+"""Figure 1 (left) — F1 and learning time while increasing #examples (MD-only, k_m = 2).
+
+Paper shape: F1 rises from its 100/200-example level and then plateaus as the
+training set grows; learning time grows roughly linearly with the number of
+examples.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.evaluation import format_series, run_figure1_examples
+
+
+def _run(bench_config, imdb_kwargs, counts):
+    return run_figure1_examples(
+        example_counts=counts,
+        config=bench_config,
+        dataset_kwargs=dict(imdb_kwargs),
+        seed=0,
+    )
+
+
+def test_figure1_left_examples(benchmark, bench_config, imdb_kwargs):
+    counts = (scaled(5), scaled(9))
+    kwargs = dict(imdb_kwargs)
+    kwargs["n_movies"] = scaled(140)
+    rows = benchmark.pedantic(_run, args=(bench_config, kwargs, counts), rounds=1, iterations=1)
+    print()
+    print(format_series(rows, x="positives", title="Figure 1 left (reproduced) — #examples sweep"))
+
+    # Paper shape: more training data never hurts much, and the largest
+    # training set is at least as effective as the smallest.
+    first, last = rows[0].result, rows[-1].result
+    assert last.f1 >= first.f1 - 0.15
+    assert last.learning_time_seconds >= first.learning_time_seconds * 0.5

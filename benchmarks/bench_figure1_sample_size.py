@@ -1,0 +1,42 @@
+"""Figure 1 (middle and right) — effect of the bottom-clause sample size.
+
+Paper shape: F1 is essentially flat in the sample size for both ``k_m = 2``
+(middle plot) and ``k_m = 5`` (right plot); learning time stays flat for the
+small ``k_m`` and grows noticeably for the larger one, because each extra
+sampled literal brings ``k_m`` similarity matches worth of repair structure
+with it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import format_series, run_figure1_sample_size
+
+
+def _run(bench_config, imdb_kwargs, km, sizes):
+    return run_figure1_sample_size(
+        sample_sizes=sizes,
+        km_values=(km,),
+        config=bench_config,
+        dataset_kwargs=dict(imdb_kwargs),
+        folds=2,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("km", [2, 5])
+def test_figure1_sample_size(benchmark, bench_config, imdb_kwargs, km):
+    rows = benchmark.pedantic(
+        _run,
+        args=(bench_config, imdb_kwargs, km, (4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    side = "middle" if km == 2 else "right"
+    print(format_series(rows, x="sample_size", title=f"Figure 1 {side} (reproduced) — sample-size sweep, km={km}"))
+
+    f1_values = [row.result.f1 for row in rows]
+    # Paper shape: the F1-score does not change significantly with the sample size.
+    assert max(f1_values) - min(f1_values) <= 0.5

@@ -1,0 +1,75 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper by calling the
+corresponding ``repro.evaluation.run_*`` function and printing the resulting
+rows in a paper-like layout.  The paper's datasets hold millions of tuples
+and its experiments run for minutes on a 30-core server; a pure-Python
+reproduction cannot do that inside a benchmark suite, so the benchmarks run
+on scaled-down synthetic datasets.  The scale can be raised through the
+``REPRO_BENCH_SCALE`` environment variable (1 = quick CI-sized run, larger
+values grow the databases and example sets proportionally).
+
+What must carry over from the paper at any scale is the *shape* of the
+results — which system wins, roughly by how much, and how F1/time move along
+each swept parameter — and that is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import DLearnConfig
+
+#: Multiplier applied to dataset sizes and example counts.
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def scaled(value: int) -> int:
+    return value * SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> DLearnConfig:
+    """The learner configuration shared by all benchmark runs."""
+    return DLearnConfig(
+        iterations=3,
+        sample_size=6,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def imdb_kwargs() -> dict:
+    """Generator arguments for the IMDB+OMDB datasets used across benchmarks."""
+    return dict(
+        n_movies=scaled(110),
+        n_positives=scaled(12),
+        n_negatives=scaled(24),
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def walmart_kwargs() -> dict:
+    return dict(
+        n_products=scaled(110),
+        n_positives=scaled(12),
+        n_negatives=scaled(24),
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="session")
+def dblp_kwargs() -> dict:
+    return dict(
+        n_papers=scaled(110),
+        n_positives=scaled(12),
+        n_negatives=scaled(24),
+        seed=13,
+    )

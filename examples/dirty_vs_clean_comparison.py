@@ -1,0 +1,49 @@
+"""Learning over CFD violations: repair-aware DLearn vs repair-then-learn.
+
+The example injects conditional-functional-dependency violations into the
+IMDB+OMDB dataset at increasing rates and compares
+
+* **DLearn-CFD** — the paper's system, which represents every possible repair
+  of a violation with repair literals and learns over all of them, against
+* **DLearn-Repaired** — repair the database up front with the minimal-repair
+  heuristic and learn over that single repair,
+
+reproducing the dynamics behind Table 5: the up-front repair sometimes
+commits to the wrong value and loses the evidence the definition needs.
+
+Run with:  python examples/dirty_vs_clean_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import DLearnConfig
+from repro.baselines import DLearnCFD, DLearnRepaired
+from repro.data import generate
+from repro.evaluation import confusion, train_test_split
+
+
+def main() -> None:
+    clean = generate("imdb_omdb_3mds", n_movies=150, n_positives=16, n_negatives=32, seed=7)
+    config = DLearnConfig(
+        iterations=3,
+        sample_size=6,
+        top_k_matches=2,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+    )
+
+    print(f"{'violation rate':<16} {'system':<18} {'F1':>6} {'precision':>10} {'recall':>8}")
+    for rate in (0.0, 0.10, 0.20):
+        dataset = clean.with_cfd_violations(rate, seed=3) if rate else clean
+        train, test = train_test_split(dataset.examples, test_fraction=0.25, seed=0)
+        labels = [example.positive for example in test.all()]
+        for learner in (DLearnCFD(config), DLearnRepaired(config)):
+            model = learner.fit(dataset.problem(examples=train))
+            matrix = confusion(model.predict(test.all()), labels)
+            print(f"{rate:<16} {learner.name:<18} {matrix.f1:>6.2f} {matrix.precision:>10.2f} {matrix.recall:>8.2f}")
+
+
+if __name__ == "__main__":
+    main()

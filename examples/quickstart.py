@@ -1,0 +1,97 @@
+"""Quickstart: learn a definition over a small dirty movie database.
+
+This example builds, by hand, the kind of two-source database the paper's
+introduction motivates (IMDb-style facts plus Box-Office-Mojo-style grossing
+information with differently formatted titles), declares the matching
+dependency connecting the two sources, and asks DLearn for a definition of
+``highGrossing(movieId)``.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DLearn, DLearnConfig
+from repro.constraints import MatchingDependency
+from repro.core import ExampleSet, LearningProblem
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
+from repro.similarity import SimilarityOperator
+
+
+def build_database() -> DatabaseInstance:
+    """A tiny integrated database: IMDb-style relations plus BOM-style grossing."""
+    string, integer = AttributeType.STRING, AttributeType.INTEGER
+    schema = DatabaseSchema.of(
+        RelationSchema.of("movies", [("id", string), ("title", string), ("year", integer)], source="imdb"),
+        RelationSchema.of("mov2genres", [("id", string), ("genre", string)], source="imdb"),
+        RelationSchema.of("mov2releasedate", [("id", string), ("month", string), ("year", integer)], source="imdb"),
+        RelationSchema.of("bom_movies", [("bomId", string), ("title", string)], source="bom"),
+        RelationSchema.of("bom_gross", [("bomId", string), ("gross", string)], source="bom"),
+    )
+    database = DatabaseInstance(schema)
+    movies = [
+        ("m1", "Superbad", 2007, "comedy", "August", "b1", "Superbad (2007)", "high"),
+        ("m2", "Zoolander", 2001, "comedy", "September", "b2", "Zoolander (2001)", "high"),
+        ("m3", "The Orphanage", 2007, "drama", "May", "b3", "The Orphanage (2007)", "low"),
+        ("m4", "Midnight Harbor", 2007, "comedy", "May", "b4", "Midnight Harbor - 2007", "low"),
+        ("m5", "Golden Voyage", 2010, "comedy", "June", "b5", "Golden Voyage (2010)", "high"),
+        ("m6", "Silent Anthem", 2011, "drama", "July", "b6", "Silent Anthem (2011)", "low"),
+    ]
+    for movie_id, title, year, genre, month, bom_id, bom_title, gross in movies:
+        database.insert("movies", (movie_id, title, year))
+        database.insert("mov2genres", (movie_id, genre))
+        database.insert("mov2releasedate", (movie_id, month, year))
+        database.insert("bom_movies", (bom_id, bom_title))
+        database.insert("bom_gross", (bom_id, gross))
+    return database
+
+
+def main() -> None:
+    database = build_database()
+
+    # The matching dependency of the paper's running example: movie titles in
+    # the two sources that are sufficiently similar denote the same movie.
+    title_md = MatchingDependency.simple("md_titles", "movies", "title", "bom_movies", "title")
+
+    problem = LearningProblem(
+        database=database,
+        target=RelationSchema.of("highGrossing", [("id", AttributeType.STRING)], source="imdb"),
+        examples=ExampleSet.of(
+            positives=[("m1",), ("m2",), ("m5",)],
+            negatives=[("m3",), ("m4",), ("m6",)],
+        ),
+        mds=[title_md],
+        cfds=[],
+        constant_attributes=frozenset({("mov2genres", "genre"), ("bom_gross", "gross"), ("mov2releasedate", "month")}),
+        similarity_operator=SimilarityOperator(threshold=0.6),
+    )
+
+    config = DLearnConfig(
+        iterations=3,
+        sample_size=None,
+        top_k_matches=2,
+        similarity_threshold=0.6,
+        min_clause_positive_coverage=1,
+        min_clause_precision=0.5,
+        use_cfds=False,
+    )
+
+    print("Database:")
+    print(problem.database.describe())
+    print()
+    print("Learning highGrossing(id) over the dirty database (no cleaning!)...")
+    model = DLearn(config).fit(problem)
+
+    print()
+    print("Learned definition:")
+    print(model.describe())
+    print()
+
+    predictions = model.predict(problem.examples.all())
+    for example, predicted in zip(problem.examples.all(), predictions):
+        marker = "+" if example.positive else "-"
+        print(f"  example {marker}{example.values}  predicted positive: {predicted}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this shim exists so that editable
+installs (``pip install -e .``) work in offline environments whose setuptools
+lacks the ``wheel`` package required by the PEP 660 editable-wheel path.
+"""
+
+from setuptools import setup
+
+setup()

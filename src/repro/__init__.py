@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Learning Over Dirty Data Without Cleaning" (SIGMOD 2020).
+
+The package implements DLearn, a relational learner that learns Horn-clause
+definitions directly over dirty, heterogeneous databases by pushing the
+database's matching dependencies and conditional functional dependencies into
+the clause language, plus every substrate the paper depends on: a
+main-memory relational engine, similarity operators, constraint/repair
+machinery, Castor-style baselines, synthetic multi-source dirty datasets and
+an evaluation harness reproducing the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import DLearn, DLearnConfig
+>>> from repro.data import imdb_omdb
+>>> dataset = imdb_omdb.generate(scale=0.1, seed=1)
+>>> model = DLearn(DLearnConfig(top_k_matches=2)).fit(dataset.problem())
+>>> print(model.describe())
+"""
+
+from .core import (
+    DLearn,
+    DLearnConfig,
+    Example,
+    ExampleSet,
+    LearnedModel,
+    LearningProblem,
+)
+from .logic import Definition, HornClause
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DLearn",
+    "DLearnConfig",
+    "Definition",
+    "Example",
+    "ExampleSet",
+    "HornClause",
+    "LearnedModel",
+    "LearningProblem",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Baseline learners of Section 6.1.3 plus a small factory for the harness."""
+
+from __future__ import annotations
+
+from ..core.config import DLearnConfig
+from ..core.dlearn import DLearn
+from .castor import CastorClean, CastorExact, CastorNoMD
+from .dlearn_repaired import DLearnCFD, DLearnRepaired
+from .entity_resolution import resolve_entities
+
+__all__ = [
+    "CastorClean",
+    "CastorExact",
+    "CastorNoMD",
+    "DLearnCFD",
+    "DLearnRepaired",
+    "make_learner",
+    "resolve_entities",
+]
+
+
+def make_learner(name: str, config: DLearnConfig | None = None, *, target_source: str | None = None):
+    """Build a learner by its Section 6 name.
+
+    Recognised names: ``dlearn``, ``dlearn-cfd``, ``dlearn-repaired``,
+    ``castor-nomd``, ``castor-exact``, ``castor-clean`` (case-insensitive).
+    """
+    config = config or DLearnConfig()
+    normalized = name.strip().lower()
+    if normalized in ("dlearn", "dlearn-md"):
+        return DLearn(config.but(use_cfds=False))
+    if normalized == "dlearn-cfd":
+        return DLearnCFD(config)
+    if normalized == "dlearn-repaired":
+        return DLearnRepaired(config)
+    if normalized == "castor-nomd":
+        return CastorNoMD(config, target_source=target_source)
+    if normalized == "castor-exact":
+        return CastorExact(config)
+    if normalized == "castor-clean":
+        return CastorClean(config)
+    raise ValueError(f"unknown learner {name!r}")

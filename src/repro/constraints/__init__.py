@@ -1,0 +1,27 @@
+"""Declarative data-quality constraints: matching dependencies and CFDs."""
+
+from .cfds import WILDCARD, ConditionalFunctionalDependency, pattern_matches
+from .consistency import InconsistentCFDsError, check_consistency
+from .mds import AttributePair, MatchingDependency
+from .repairs import enforce_md, is_stable, minimal_cfd_repair, repairs_of, stable_instances
+from .violations import CFDViolation, MDMatch, find_cfd_violations, find_md_matches, violation_rate
+
+__all__ = [
+    "AttributePair",
+    "CFDViolation",
+    "ConditionalFunctionalDependency",
+    "InconsistentCFDsError",
+    "MDMatch",
+    "MatchingDependency",
+    "WILDCARD",
+    "check_consistency",
+    "enforce_md",
+    "find_cfd_violations",
+    "find_md_matches",
+    "is_stable",
+    "minimal_cfd_repair",
+    "pattern_matches",
+    "repairs_of",
+    "stable_instances",
+    "violation_rate",
+]

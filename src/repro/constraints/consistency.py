@@ -1,0 +1,90 @@
+"""Consistency checking for sets of CFDs.
+
+Section 2.3 notes that, unlike plain FDs, a set of CFDs can be *inconsistent*
+— no non-empty instance satisfies all of them — and that cleaning only makes
+sense for consistent sets.  The classic example is ``(A → B, a1 || b1)`` and
+``(B → A, b1 || a2)``: any tuple with ``A = a1`` is forced to ``B = b1``,
+which forces ``A = a2``, a contradiction.
+
+The full consistency problem is intractable in general (Bohannon et al.,
+ICDE 2007); what the library needs is to reject obviously broken constraint
+sets before learning.  We implement the standard single-tuple chase used for
+constant CFDs: seed a symbolic tuple from each CFD's pattern, repeatedly
+apply every CFD whose LHS pattern is entailed, and report inconsistency when
+two different constants are forced onto the same attribute.  The check is
+sound (it never rejects a consistent set); completeness holds for the
+constant CFDs used in the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .cfds import WILDCARD, ConditionalFunctionalDependency
+
+__all__ = ["check_consistency", "InconsistentCFDsError"]
+
+
+class InconsistentCFDsError(ValueError):
+    """Raised when a CFD set is detected to be unsatisfiable by any non-empty instance."""
+
+
+def _entails(known: Mapping[str, object], attribute: str, pattern: object) -> bool:
+    """Does the symbolic tuple *known* guarantee the pattern entry for *attribute*?"""
+    if pattern is WILDCARD:
+        return True
+    return known.get(attribute, WILDCARD) == pattern
+
+
+def _chase(seed: dict[str, object], cfds: list[ConditionalFunctionalDependency]) -> bool:
+    """Chase the symbolic tuple *seed*; return False on contradiction."""
+    known = dict(seed)
+    changed = True
+    while changed:
+        changed = False
+        for cfd in cfds:
+            if cfd.rhs_pattern is WILDCARD:
+                continue
+            # Wildcard LHS entries match any value, so only constant entries
+            # constrain whether the chase step applies.
+            applies = all(
+                _entails(known, attribute, pattern)
+                for attribute, pattern in zip(cfd.lhs, cfd.lhs_pattern)
+                if pattern is not WILDCARD
+            )
+            if not applies:
+                continue
+            existing = known.get(cfd.rhs, WILDCARD)
+            if existing is WILDCARD:
+                known[cfd.rhs] = cfd.rhs_pattern
+                changed = True
+            elif existing != cfd.rhs_pattern:
+                return False
+    return True
+
+
+def check_consistency(cfds: Iterable[ConditionalFunctionalDependency]) -> None:
+    """Raise :class:`InconsistentCFDsError` when the CFD set is detectably inconsistent.
+
+    CFDs over different relations never interact, so the check runs per
+    relation.  For each relation, every CFD with a constant pattern seeds a
+    chase with the constants of its own pattern; if the chase derives two
+    different constants for one attribute the set is inconsistent.
+    """
+    by_relation: dict[str, list[ConditionalFunctionalDependency]] = {}
+    for cfd in cfds:
+        by_relation.setdefault(cfd.relation, []).append(cfd)
+
+    for relation, relation_cfds in by_relation.items():
+        for cfd in relation_cfds:
+            seed: dict[str, object] = {
+                attribute: pattern
+                for attribute, pattern in zip(cfd.lhs, cfd.lhs_pattern)
+                if pattern is not WILDCARD
+            }
+            if cfd.rhs_pattern is not WILDCARD:
+                seed.setdefault(cfd.rhs, cfd.rhs_pattern)
+            if not _chase(seed, relation_cfds):
+                raise InconsistentCFDsError(
+                    f"CFDs over relation {relation!r} are inconsistent; offending seed pattern from {cfd.name!r}"
+                )

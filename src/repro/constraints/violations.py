@@ -1,0 +1,137 @@
+"""Detection of MD matches and CFD violations in a database instance."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from ..db.instance import DatabaseInstance
+from ..db.tuples import Tuple
+from .cfds import ConditionalFunctionalDependency
+from .mds import MatchingDependency
+
+__all__ = ["MDMatch", "CFDViolation", "find_md_matches", "find_cfd_violations", "violation_rate"]
+
+
+@dataclass(frozen=True)
+class MDMatch:
+    """A pair of tuples satisfying an MD's premises but disagreeing on the identified values.
+
+    Enforcing the MD on this pair (Definition 2.2) would unify
+    ``left_value`` and ``right_value``.
+    """
+
+    md: MatchingDependency
+    left_tuple: Tuple
+    right_tuple: Tuple
+    left_value: object
+    right_value: object
+
+    @property
+    def needs_enforcement(self) -> bool:
+        return self.left_value != self.right_value
+
+
+@dataclass(frozen=True)
+class CFDViolation:
+    """A pair of tuples of one relation violating a CFD."""
+
+    cfd: ConditionalFunctionalDependency
+    first: Tuple
+    second: Tuple
+
+
+def find_md_matches(
+    instance: DatabaseInstance,
+    md: MatchingDependency,
+    similar: Callable[[object, object], bool],
+    *,
+    only_disagreeing: bool = True,
+) -> Iterator[MDMatch]:
+    """Yield tuple pairs matched by *md* in *instance*.
+
+    ``similar`` is the boolean ``≈`` operator (typically a
+    :class:`repro.similarity.SimilarityIndex.are_similar` bound method so the
+    scan is restricted to precomputed candidate pairs).  With
+    ``only_disagreeing=True`` (the default) only pairs whose identified
+    values differ — i.e. pairs on which the MD actually needs to be enforced —
+    are reported.
+
+    The scan blocks on the first premise pair: for every left tuple it only
+    scores right tuples whose first premise value is a known similar partner
+    or an exact match, so the cost is linear in the number of kept similar
+    pairs rather than quadratic in the relation sizes.
+    """
+    schema = instance.schema
+    left_relation = instance.relation(md.left_relation)
+    right_relation = instance.relation(md.right_relation)
+    left_schema = left_relation.schema
+    right_schema = right_relation.schema
+    first_premise = md.premises[0]
+
+    # Group right tuples by their first-premise value for candidate lookup.
+    right_by_value: dict[object, list[Tuple]] = defaultdict(list)
+    for right_tuple in right_relation:
+        right_by_value[right_tuple.value_of(right_schema, first_premise.right_attribute)].append(right_tuple)
+
+    partner_lookup = getattr(similar, "__self__", None)
+    partners_of = getattr(partner_lookup, "partners_of", None)
+
+    for left_tuple in left_relation:
+        left_value = left_tuple.value_of(left_schema, first_premise.left_attribute)
+        if left_value is None:
+            continue
+        candidate_values: set[object] = {left_value}
+        if partners_of is not None:
+            candidate_values.update(partners_of(left_value))
+        else:
+            candidate_values.update(right_by_value.keys())
+        for candidate_value in candidate_values:
+            for right_tuple in right_by_value.get(candidate_value, ()):
+                if not md.premises_hold(schema, left_tuple, right_tuple, similar):
+                    continue
+                identified_left, identified_right = md.identified_values(schema, left_tuple, right_tuple)
+                match = MDMatch(md, left_tuple, right_tuple, identified_left, identified_right)
+                if match.needs_enforcement or not only_disagreeing:
+                    yield match
+
+
+def find_cfd_violations(
+    instance: DatabaseInstance, cfd: ConditionalFunctionalDependency
+) -> Iterator[CFDViolation]:
+    """Yield the violating tuple pairs of *cfd* in *instance*.
+
+    Tuples are grouped by their LHS values first, so the pairwise check runs
+    only inside groups that can possibly violate the dependency.
+    """
+    relation = instance.relation(cfd.relation)
+    schema = relation.schema
+    groups: dict[tuple[object, ...], list[Tuple]] = defaultdict(list)
+    for tup in relation:
+        if cfd.lhs_matches_pattern(schema, tup):
+            groups[cfd.lhs_values(schema, tup)].append(tup)
+
+    for group in groups.values():
+        for i, first in enumerate(group):
+            if cfd.violated_by(schema, first, first):
+                yield CFDViolation(cfd, first, first)
+            for second in group[i + 1 :]:
+                if cfd.violated_by(schema, first, second):
+                    yield CFDViolation(cfd, first, second)
+
+
+def violation_rate(instance: DatabaseInstance, cfds: Iterable[ConditionalFunctionalDependency]) -> float:
+    """Fraction of tuples involved in at least one CFD violation.
+
+    This is the quantity the paper calls ``p`` when injecting violations
+    ("p of 5% means that 5% of tuples in each relation violate at least one
+    CFD", Section 6.1.2).
+    """
+    violating: set[tuple[str, Tuple]] = set()
+    for cfd in cfds:
+        for violation in find_cfd_violations(instance, cfd):
+            violating.add((cfd.relation, violation.first))
+            violating.add((cfd.relation, violation.second))
+    total = instance.tuple_count()
+    return len(violating) / total if total else 0.0

@@ -1,0 +1,46 @@
+"""DLearn core: the paper's primary contribution.
+
+Bottom-clause construction over dirty data, repair-literal machinery,
+generalisation, coverage testing, and the covering-loop learner.
+"""
+
+from .bottom_clause import BottomClauseBuilder, RelevantTuples, SimilarityEvidence
+from .config import DLearnConfig
+from .coverage import CoverageEngine
+from .dlearn import DLearn, LearnedModel
+from .generalization import Generalizer, LearnedClause
+from .problem import Example, ExampleSet, LearningProblem
+from .repair_literals import (
+    cfd_lhs_repair_literals,
+    cfd_rhs_repair_literals,
+    evaluate_condition,
+    md_repair_literals,
+    repair_groups,
+    repaired_clauses,
+    strip_repair_machinery,
+)
+from .scoring import ClauseStats, score_clause
+
+__all__ = [
+    "BottomClauseBuilder",
+    "ClauseStats",
+    "CoverageEngine",
+    "DLearn",
+    "DLearnConfig",
+    "Example",
+    "ExampleSet",
+    "Generalizer",
+    "LearnedClause",
+    "LearnedModel",
+    "LearningProblem",
+    "RelevantTuples",
+    "SimilarityEvidence",
+    "cfd_lhs_repair_literals",
+    "cfd_rhs_repair_literals",
+    "evaluate_condition",
+    "md_repair_literals",
+    "repair_groups",
+    "repaired_clauses",
+    "score_clause",
+    "strip_repair_machinery",
+]

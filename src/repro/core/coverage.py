@@ -1,0 +1,173 @@
+"""Coverage testing over heterogeneous data (Section 4.3).
+
+Instead of evaluating a clause as a (very long) join over the database,
+DLearn checks coverage by θ-subsumption against the example's *ground bottom
+clause*:
+
+* **positive example** ``e`` (Definition 3.4 — every repaired clause must
+  cover ``e`` in some repair):
+
+  1. if ``C`` θ-subsumes ``G_e`` directly the example is covered
+     (Theorem 4.6 — θ-subsumption is sound);
+  2. otherwise project both clauses onto their MD-only parts
+     (``C^{md}`` / ``G_e^{md}``): when even those do not subsume, the example
+     is not covered (Theorem 4.9 — for MD-only repair literals
+     θ-subsumption is also complete);
+  3. otherwise expand the CFD repair groups on both sides and require every
+     CFD-variant of ``C`` to subsume some CFD-variant of ``G_e``.
+
+* **negative example** ``e⁻`` (Definition 3.6 — it suffices that one repaired
+  clause covers ``e⁻`` in some repair): same fast path, but the CFD-variant
+  check is existential on both sides (Proposition 4.10).
+
+Ground bottom clauses are cached per example because the same examples are
+tested against many candidate clauses during generalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.clauses import HornClause
+from ..logic.subsumption import PreparedClause, SubsumptionChecker
+from .bottom_clause import BottomClauseBuilder
+from .config import DLearnConfig
+from .problem import Example
+from .repair_literals import repaired_clauses
+
+__all__ = ["CoverageEngine"]
+
+_CFD_PREFIX = "cfd:"
+
+
+class CoverageEngine:
+    """Computes example coverage for clauses with repair literals."""
+
+    def __init__(
+        self,
+        builder: BottomClauseBuilder,
+        config: DLearnConfig,
+        checker: SubsumptionChecker | None = None,
+    ) -> None:
+        self.builder = builder
+        self.config = config
+        self.checker = checker or SubsumptionChecker()
+        self._ground_cache: dict[tuple[tuple[object, ...], bool], PreparedClause] = {}
+
+    # ------------------------------------------------------------------ #
+    # ground bottom clauses
+    # ------------------------------------------------------------------ #
+    def prepared_ground(self, example: Example) -> PreparedClause:
+        """The example's ground bottom clause, pre-processed for repeated subsumption tests."""
+        key = (example.values, example.positive)
+        if key not in self._ground_cache:
+            self._ground_cache[key] = self.checker.prepare(self.builder.build(example, ground=True))
+        return self._ground_cache[key]
+
+    def ground_bottom_clause(self, example: Example) -> HornClause:
+        return self.prepared_ground(example).clause
+
+    def clear_cache(self) -> None:
+        self._ground_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # clause-level coverage
+    # ------------------------------------------------------------------ #
+    def covers(self, clause: HornClause, example: Example) -> bool:
+        """Coverage of *example* by *clause* under the label-appropriate semantics."""
+        ground = self.prepared_ground(example)
+        if example.positive:
+            return self.covers_ground_positive(clause, ground)
+        return self.covers_ground_negative(clause, ground)
+
+    def covers_ground_positive(self, clause: HornClause, ground: HornClause | PreparedClause) -> bool:
+        """Definition 3.4 via the Section 4.3 procedure."""
+        if self.checker.subsumes(clause, ground).subsumes:
+            return True
+        ground_clause = ground.clause if isinstance(ground, PreparedClause) else ground
+        clause_has_cfd = self._has_cfd_repairs(clause)
+        ground_has_cfd = self._has_cfd_repairs(ground_clause)
+        if not clause_has_cfd and not ground_has_cfd:
+            return False
+        clause_md = self._md_projection(clause)
+        ground_md = self._md_projection(ground_clause)
+        if not self.checker.subsumes(clause_md, ground_md).subsumes:
+            return False
+        clause_variants = self._cfd_variants(clause)
+        ground_variants = self._cfd_variants(ground_clause)
+        return all(
+            any(self.checker.subsumes(cv, gv).subsumes for gv in ground_variants) for cv in clause_variants
+        )
+
+    def covers_ground_negative(self, clause: HornClause, ground: HornClause | PreparedClause) -> bool:
+        """Definition 3.6 / Proposition 4.10."""
+        if self.checker.subsumes(clause, ground).subsumes:
+            return True
+        ground_clause = ground.clause if isinstance(ground, PreparedClause) else ground
+        if not (self._has_cfd_repairs(clause) or self._has_cfd_repairs(ground_clause)):
+            return False
+        clause_variants = self._cfd_variants(clause)
+        ground_variants = self._cfd_variants(ground_clause)
+        return any(
+            any(self.checker.subsumes(cv, gv).subsumes for gv in ground_variants) for cv in clause_variants
+        )
+
+    # ------------------------------------------------------------------ #
+    # definition-level coverage and counting
+    # ------------------------------------------------------------------ #
+    def definition_covers(self, clauses: Iterable[HornClause], example: Example) -> bool:
+        """A definition covers an example when at least one clause does (Section 2.1)."""
+        return any(self.covers(clause, example) for clause in clauses)
+
+    def predicts_positive(self, clauses: Iterable[HornClause], example: Example) -> bool:
+        """Classification rule used at test time: the positive-coverage semantics."""
+        ground = self.prepared_ground(example)
+        return any(self.covers_ground_positive(clause, ground) for clause in clauses)
+
+    def covered_counts(
+        self, clause: HornClause, positives: Sequence[Example], negatives: Sequence[Example]
+    ) -> tuple[int, int]:
+        positives_covered = sum(1 for example in positives if self.covers(clause, example))
+        negatives_covered = sum(1 for example in negatives if self.covers(clause, example))
+        return positives_covered, negatives_covered
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _has_cfd_repairs(clause: HornClause) -> bool:
+        return any(
+            literal.provenance and literal.provenance.startswith(_CFD_PREFIX)
+            for literal in clause.repair_literals
+        )
+
+    def _cfd_variants(self, clause: HornClause) -> list[HornClause]:
+        return repaired_clauses(
+            clause, only_provenance_prefix=_CFD_PREFIX, max_results=self.config.max_cfd_expansions
+        )
+
+    @staticmethod
+    def _md_projection(clause: HornClause) -> HornClause:
+        """Drop CFD repair literals and the non-repair literals they are connected to.
+
+        What remains is the ``C^{md}`` / ``G^{md}`` clause of Section 4.3: all
+        literals whose connected repair literals (if any) correspond to MDs.
+        """
+        cfd_repairs = {
+            literal
+            for literal in clause.repair_literals
+            if literal.provenance and literal.provenance.startswith(_CFD_PREFIX)
+        }
+        if not cfd_repairs:
+            return clause
+        keep = []
+        for literal in clause.body:
+            if literal in cfd_repairs:
+                continue
+            if not literal.is_repair:
+                connected = clause.repair_literals_connected_to(literal)
+                if connected & cfd_repairs:
+                    continue
+            keep.append(literal)
+        return HornClause(clause.head, tuple(keep)).prune_dangling_restrictions()

@@ -1,0 +1,151 @@
+"""The DLearn learner: covering loop, learned models, prediction.
+
+:class:`DLearn` ties the pieces together (Section 4):
+
+1. build the per-MD similarity indexes (top-``k_m`` matches, Section 5);
+2. covering loop (Algorithm 1): while uncovered positive examples remain,
+   build the bottom clause of one of them (Algorithm 2), generalise it
+   (Section 4.2), and accept it into the definition when it meets the minimum
+   criterion;
+3. return a :class:`LearnedModel` that can describe the learned definition
+   and classify new tuples of the target relation.
+
+The Castor-style baselines in :mod:`repro.baselines` reuse exactly this class
+with different configuration switches, which is what makes the comparisons of
+Section 6 apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..db.sampling import Sampler
+from ..logic.clauses import Definition, HornClause
+from ..logic.subsumption import SubsumptionChecker
+from .bottom_clause import BottomClauseBuilder
+from .config import DLearnConfig
+from .coverage import CoverageEngine
+from .generalization import Generalizer, LearnedClause
+from .problem import Example, ExampleSet, LearningProblem
+from .scoring import ClauseStats
+
+__all__ = ["DLearn", "LearnedModel"]
+
+
+@dataclass
+class LearnedModel:
+    """The outcome of a learning run.
+
+    Holds the learned Horn definition, per-clause training statistics, the
+    configuration and problem it was learned from, and the wall-clock
+    learning time.  ``predict`` classifies fresh tuples of the target
+    relation by rebuilding the similarity/coverage machinery so that unseen
+    values (e.g. test-fold titles) get their own similarity matches — exactly
+    what the paper's 5-fold cross-validation requires.
+    """
+
+    definition: Definition
+    clause_stats: list[ClauseStats]
+    config: DLearnConfig
+    problem: LearningProblem
+    learning_time_seconds: float = 0.0
+
+    @property
+    def clauses(self) -> list[HornClause]:
+        return list(self.definition.clauses)
+
+    def describe(self) -> str:
+        """Human-readable rendering of the learned definition with coverage counts."""
+        if not self.definition:
+            return f"{self.problem.target_name}: <empty definition>"
+        lines = []
+        for clause, stats in zip(self.definition.clauses, self.clause_stats):
+            lines.append(str(clause))
+            lines.append(f"    (positives covered={stats.positives_covered}, negatives covered={stats.negatives_covered})")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # prediction
+    # ------------------------------------------------------------------ #
+    def predict(self, examples: Sequence[Example]) -> list[bool]:
+        """Classify *examples*: ``True`` when the learned definition covers the tuple."""
+        if not self.definition:
+            return [False for _ in examples]
+        engine = self._engine_for(examples)
+        return [engine.predicts_positive(self.definition.clauses, example) for example in examples]
+
+    def _engine_for(self, examples: Sequence[Example]) -> CoverageEngine:
+        evaluation_problem = self.problem.with_examples(
+            ExampleSet(
+                positives=[e for e in examples if e.positive],
+                negatives=[e for e in examples if e.negative],
+            )
+        )
+        indexes = (
+            evaluation_problem.build_similarity_indexes(
+                top_k=self.config.top_k_matches, threshold=self.config.similarity_threshold
+            )
+            if self.config.use_mds
+            else {}
+        )
+        builder = BottomClauseBuilder(
+            evaluation_problem, self.config, indexes, Sampler(self.config.seed)
+        )
+        return CoverageEngine(builder, self.config, SubsumptionChecker())
+
+
+class DLearn:
+    """Bottom-up relational learner over dirty data (the paper's system)."""
+
+    def __init__(self, config: DLearnConfig | None = None) -> None:
+        self.config = config or DLearnConfig()
+
+    # ------------------------------------------------------------------ #
+    def fit(self, problem: LearningProblem) -> LearnedModel:
+        """Learn a Horn definition of the problem's target relation (Algorithm 1)."""
+        config = self.config
+        started = time.perf_counter()
+
+        indexes = (
+            problem.build_similarity_indexes(top_k=config.top_k_matches, threshold=config.similarity_threshold)
+            if config.use_mds
+            else {}
+        )
+        sampler = Sampler(config.seed)
+        builder = BottomClauseBuilder(problem, config, indexes, sampler)
+        engine = CoverageEngine(builder, config, SubsumptionChecker())
+        generalizer = Generalizer(engine, config, sampler)
+
+        positives = list(problem.examples.positives)
+        negatives = list(problem.examples.negatives)
+        uncovered = list(positives)
+        definition = Definition(problem.target_name)
+        clause_stats: list[ClauseStats] = []
+
+        while uncovered and len(definition) < config.max_clauses:
+            seed = uncovered[0]
+            bottom_clause = builder.build(seed, ground=False)
+            learned: LearnedClause = generalizer.learn_clause(bottom_clause, uncovered, negatives)
+
+            if learned.stats.satisfies_criterion(config):
+                definition.add(learned.clause)
+                clause_stats.append(learned.stats)
+                remaining = [example for example in uncovered if not engine.covers(learned.clause, example)]
+                if len(remaining) == len(uncovered):
+                    # Safety: the clause must cover its seed (Proposition 4.3);
+                    # drop the seed explicitly if coverage testing disagrees.
+                    remaining = [example for example in uncovered if example is not seed]
+                uncovered = remaining
+            else:
+                uncovered = [example for example in uncovered if example is not seed]
+
+        elapsed = time.perf_counter() - started
+        return LearnedModel(
+            definition=definition,
+            clause_stats=clause_stats,
+            config=config,
+            problem=problem,
+            learning_time_seconds=elapsed,
+        )

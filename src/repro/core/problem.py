@@ -1,0 +1,187 @@
+"""Learning problems: database + constraints + target relation + examples.
+
+A :class:`LearningProblem` bundles everything DLearn (and the baselines)
+needs: the dirty database instance, the target relation to learn, the
+matching dependencies and CFDs describing the database's quality problems,
+the positive/negative training examples, and the similarity machinery built
+from the MDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from ..constraints.cfds import ConditionalFunctionalDependency
+from ..constraints.consistency import check_consistency
+from ..constraints.mds import MatchingDependency
+from ..db.instance import DatabaseInstance
+from ..db.schema import RelationSchema
+from ..similarity.composite import SimilarityOperator
+from ..similarity.index import SimilarityIndex
+
+__all__ = ["Example", "ExampleSet", "LearningProblem"]
+
+
+@dataclass(frozen=True, slots=True)
+class Example:
+    """One training example: a tuple of the target relation plus its label."""
+
+    values: tuple[object, ...]
+    positive: bool = True
+
+    @property
+    def negative(self) -> bool:
+        return not self.positive
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        sign = "+" if self.positive else "-"
+        return f"{sign}{self.values}"
+
+
+@dataclass
+class ExampleSet:
+    """Positive and negative examples of the target relation."""
+
+    positives: list[Example] = field(default_factory=list)
+    negatives: list[Example] = field(default_factory=list)
+
+    @classmethod
+    def of(cls, positives: Iterable[Sequence[object]], negatives: Iterable[Sequence[object]]) -> "ExampleSet":
+        return cls(
+            positives=[Example(tuple(values), True) for values in positives],
+            negatives=[Example(tuple(values), False) for values in negatives],
+        )
+
+    def __len__(self) -> int:
+        return len(self.positives) + len(self.negatives)
+
+    def all(self) -> list[Example]:
+        return self.positives + self.negatives
+
+    def limited(self, max_positives: int | None, max_negatives: int | None) -> "ExampleSet":
+        """Return a copy restricted to the first N positives / negatives."""
+        return ExampleSet(
+            positives=self.positives[:max_positives] if max_positives is not None else list(self.positives),
+            negatives=self.negatives[:max_negatives] if max_negatives is not None else list(self.negatives),
+        )
+
+    def describe(self) -> str:
+        return f"{len(self.positives)} positive / {len(self.negatives)} negative examples"
+
+
+@dataclass
+class LearningProblem:
+    """A relational learning task over a (possibly dirty) database.
+
+    Attributes
+    ----------
+    database:
+        The dirty database instance ``I``.
+    target:
+        Schema of the target relation ``T`` (not stored in the database — its
+        tuples are the training examples).
+    examples:
+        Positive and negative training examples.
+    mds:
+        Matching dependencies over the database (possibly involving the
+        target relation, e.g. matching example titles against movie titles).
+    cfds:
+        Conditional functional dependencies over the database relations.
+    constant_attributes:
+        ``(relation, attribute)`` pairs whose values should be kept as
+        constants in bottom clauses (categorical attributes such as genres or
+        product categories), so learned clauses may test them directly.  All
+        other constants are variabilised, as in Section 4.1.
+    similarity_operator:
+        The ``≈`` operator; defaults to the paper's composite operator.
+    """
+
+    database: DatabaseInstance
+    target: RelationSchema
+    examples: ExampleSet
+    mds: list[MatchingDependency] = field(default_factory=list)
+    cfds: list[ConditionalFunctionalDependency] = field(default_factory=list)
+    constant_attributes: frozenset[tuple[str, str]] = frozenset()
+    similarity_operator: SimilarityOperator | None = None
+
+    def __post_init__(self) -> None:
+        if self.similarity_operator is None:
+            self.similarity_operator = SimilarityOperator()
+        for md in self.mds:
+            md.validate(self.database.schema, target_relation=self.target.name)
+        for cfd in self.cfds:
+            cfd.validate(self.database.schema)
+        check_consistency(self.cfds)
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def target_name(self) -> str:
+        return self.target.name
+
+    def with_examples(self, examples: ExampleSet) -> "LearningProblem":
+        """Return a copy with a different example set (train/test splits)."""
+        return replace(self, examples=examples)
+
+    def with_database(self, database: DatabaseInstance) -> "LearningProblem":
+        """Return a copy over a different database instance (e.g. a repaired one)."""
+        return replace(self, database=database)
+
+    def with_constraints(
+        self,
+        mds: list[MatchingDependency] | None = None,
+        cfds: list[ConditionalFunctionalDependency] | None = None,
+    ) -> "LearningProblem":
+        return replace(
+            self,
+            mds=list(self.mds) if mds is None else mds,
+            cfds=list(self.cfds) if cfds is None else cfds,
+        )
+
+    def keeps_constant(self, relation: str, attribute: str) -> bool:
+        return (relation, attribute) in self.constant_attributes
+
+    # ------------------------------------------------------------------ #
+    # similarity indexes
+    # ------------------------------------------------------------------ #
+    def _column_values(self, relation_name: str, attribute_name: str) -> list[object]:
+        """Values of one column; the target relation's column comes from the examples."""
+        if relation_name == self.target.name:
+            position = self.target.position_of(attribute_name)
+            return [example.values[position] for example in self.examples.all()]
+        relation = self.database.relation(relation_name)
+        return list(relation.distinct_values(attribute_name))
+
+    def build_similarity_indexes(
+        self, *, top_k: int, threshold: float | None = None
+    ) -> dict[str, SimilarityIndex]:
+        """Build one precomputed top-``k_m`` similarity index per MD premise column pair.
+
+        The returned dictionary is keyed by MD name.  Indexes are built over
+        the first premise pair of each MD — multi-premise MDs use the first
+        pair for candidate generation and verify the remaining pairs
+        tuple-by-tuple during bottom-clause construction.
+        """
+        operator = self.similarity_operator
+        if threshold is not None:
+            operator = SimilarityOperator(measure=operator.measure, threshold=threshold)
+        indexes: dict[str, SimilarityIndex] = {}
+        for md in self.mds:
+            first = md.premises[0]
+            left_values = self._column_values(md.left_relation, first.left_attribute)
+            right_values = self._column_values(md.right_relation, first.right_attribute)
+            index = SimilarityIndex(operator=operator, top_k=top_k)
+            index.build(left_values, right_values)
+            indexes[md.name] = index
+        return indexes
+
+    def describe(self) -> str:
+        lines = [
+            f"target: {self.target}",
+            f"examples: {self.examples.describe()}",
+            f"database: {self.database.tuple_count()} tuples in {len(self.database.schema)} relations",
+            f"MDs: {len(self.mds)}, CFDs: {len(self.cfds)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,311 @@
+"""Repair-literal machinery: building repair groups and expanding repaired clauses.
+
+Section 3.2 extends the clause language with repair literals ``V_c(x, v_x)``.
+A clause containing repair literals is a *compact representation* of a set of
+repaired clauses; this module implements
+
+* builders that create the repair literals for an MD match and for a CFD
+  violation found inside a bottom clause (used by
+  :mod:`repro.core.bottom_clause`), and
+* :func:`repaired_clauses`, which expands a clause into its repaired clauses
+  by progressively applying / eliminating repair literals exactly as
+  described in Section 3.2 (conditions are evaluated against the clause's
+  restriction literals; different application orders may yield different
+  repaired clauses, so the expansion branches over orders and de-duplicates).
+
+Repair literals introduced for one constraint application share a
+``provenance`` tag and form a *group*:
+
+* the two repair literals of an MD match (both sides must be unified
+  together, cf. Example 3.2) form one group;
+* each alternative fix of a CFD violation (set ``z := t``, set ``t := z``,
+  or — in the *full* scheme — modify one of the left-hand sides to break the
+  match) is its own group, and the groups exclude one another through their
+  conditions and restriction literals, exactly as in Example 3.1/3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.atoms import (
+    Comparison,
+    ComparisonOp,
+    Condition,
+    Literal,
+    LiteralKind,
+    equality_literal,
+    inequality_literal,
+    repair_literal,
+    similarity_literal,
+)
+from ..logic.clauses import HornClause
+from ..logic.terms import Term, Variable, VariableFactory
+
+__all__ = [
+    "md_repair_literals",
+    "cfd_rhs_repair_literals",
+    "cfd_lhs_repair_literals",
+    "repair_groups",
+    "evaluate_condition",
+    "repaired_clauses",
+    "strip_repair_machinery",
+]
+
+
+# ---------------------------------------------------------------------- #
+# builders
+# ---------------------------------------------------------------------- #
+def md_repair_literals(
+    left: Term,
+    right: Term,
+    factory: VariableFactory,
+    provenance: str,
+) -> list[Literal]:
+    """Repair literals for one MD match between the terms *left* and *right*.
+
+    Returns the similarity literal ``left ≈ right``, the two repair literals
+    ``V_{left≈right}(left, v_l)`` and ``V_{left≈right}(right, v_r)``, and the
+    restriction literal ``v_l = v_r`` (Section 3.2, Example 3.2).
+    """
+    condition = Condition.of(Comparison(ComparisonOp.SIM, left, right))
+    replacement_left = factory.fresh("u")
+    replacement_right = factory.fresh("u")
+    return [
+        similarity_literal(left, right, provenance=provenance),
+        repair_literal(left, replacement_left, condition, provenance=provenance),
+        repair_literal(right, replacement_right, condition, provenance=provenance),
+        equality_literal(replacement_left, replacement_right, provenance=provenance),
+    ]
+
+
+def cfd_rhs_repair_literals(
+    lhs_pairs: Sequence[tuple[Term, Term]],
+    rhs_first: Term,
+    rhs_second: Term,
+    provenance: str,
+) -> list[Literal]:
+    """Repair literals for a CFD violation, reduced (right-hand-side) scheme.
+
+    ``lhs_pairs`` holds the pairs of terms the two violating literals carry in
+    the CFD's left-hand-side positions; ``rhs_first`` / ``rhs_second`` are the
+    two (different) right-hand-side terms.  Following the end of Section 4.1,
+    only the repairs that unify the right-hand sides using *current* variables
+    are produced — ``V_c(z, t)`` and ``V_c(t, z)`` with
+    ``c = (lhs equal) ∧ z ≠ t`` — which is the minimal-repair semantics.
+    Each literal is its own group (alternative fixes exclude each other via
+    the ``z ≠ t`` conjunct).
+    """
+    comparisons = [Comparison(ComparisonOp.EQ, a, b) for a, b in lhs_pairs if a != b]
+    comparisons.append(Comparison(ComparisonOp.NEQ, rhs_first, rhs_second))
+    condition = Condition(frozenset(comparisons))
+    return [
+        repair_literal(rhs_first, rhs_second, condition, provenance=f"{provenance}:rhs_fwd"),
+        repair_literal(rhs_second, rhs_first, condition, provenance=f"{provenance}:rhs_bwd"),
+    ]
+
+
+def cfd_lhs_repair_literals(
+    lhs_pairs: Sequence[tuple[Term, Term]],
+    rhs_first: Term,
+    rhs_second: Term,
+    factory: VariableFactory,
+    provenance: str,
+) -> list[Literal]:
+    """Repair literals for the *full* scheme: also repair by modifying a left-hand side.
+
+    For the first left-hand-side pair ``(x1, x2)`` two further alternative
+    fixes are produced: replace ``x1`` with a fresh value different from
+    ``x2`` or vice versa, mirroring Example 3.1.  The restriction literals
+    ``v_{x1} ≠ x2`` / ``v_{x2} ≠ x1`` record that the fresh value must break
+    the left-hand-side match.
+    """
+    if not lhs_pairs:
+        return []
+    x1, x2 = lhs_pairs[0]
+    comparisons = [Comparison(ComparisonOp.EQ, a, b) for a, b in lhs_pairs if a != b]
+    comparisons.append(Comparison(ComparisonOp.NEQ, rhs_first, rhs_second))
+    condition = Condition(frozenset(comparisons))
+    fresh_first = factory.fresh("w")
+    fresh_second = factory.fresh("w")
+    return [
+        repair_literal(x1, fresh_first, condition, provenance=f"{provenance}:lhs_fst"),
+        inequality_literal(fresh_first, x2, provenance=f"{provenance}:lhs_fst"),
+        repair_literal(x2, fresh_second, condition, provenance=f"{provenance}:lhs_snd"),
+        inequality_literal(fresh_second, x1, provenance=f"{provenance}:lhs_snd"),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# grouping and condition evaluation
+# ---------------------------------------------------------------------- #
+def repair_groups(clause: HornClause) -> dict[str, list[Literal]]:
+    """Group the clause's repair literals by provenance tag.
+
+    Repair literals without a provenance each form a singleton group keyed by
+    their rendering — they can only have been introduced by hand-written
+    clauses in tests.
+    """
+    groups: dict[str, list[Literal]] = {}
+    for literal in clause.repair_literals:
+        key = literal.provenance or f"anonymous:{literal}"
+        groups.setdefault(key, []).append(literal)
+    return groups
+
+
+def _equality_pairs(clause: HornClause) -> set[frozenset[Term]]:
+    return {
+        frozenset(literal.terms)
+        for literal in clause.body
+        if literal.kind is LiteralKind.EQUALITY
+    }
+
+
+def _similarity_pairs(clause: HornClause) -> set[frozenset[Term]]:
+    return {
+        frozenset(literal.terms)
+        for literal in clause.body
+        if literal.kind is LiteralKind.SIMILARITY
+    }
+
+
+def evaluate_condition(condition: Condition, clause: HornClause) -> bool:
+    """Evaluate a repair condition against the clause's literals (Section 3.2).
+
+    * ``a = b`` holds when the terms are identical or the clause contains the
+      equality literal;
+    * ``a ≠ b`` holds when the terms are distinct and the clause contains no
+      equality literal between them (the paper's reading of the inequalities
+      kept inside conditions);
+    * ``a ≈ b`` holds when the terms are identical or the clause contains the
+      similarity literal.
+    """
+    equalities = _equality_pairs(clause)
+    similarities = _similarity_pairs(clause)
+    for comparison in condition.comparisons:
+        pair = frozenset((comparison.left, comparison.right))
+        if comparison.op is ComparisonOp.EQ:
+            if comparison.left != comparison.right and pair not in equalities:
+                return False
+        elif comparison.op is ComparisonOp.NEQ:
+            if comparison.left == comparison.right or pair in equalities:
+                return False
+        elif comparison.op is ComparisonOp.SIM:
+            if comparison.left != comparison.right and pair not in similarities:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------- #
+# applying groups / expanding repaired clauses
+# ---------------------------------------------------------------------- #
+def _apply_or_drop_group(clause: HornClause, provenance: str) -> HornClause:
+    """Apply one repair group if its condition holds, otherwise eliminate it."""
+    group = [lit for lit in clause.repair_literals if (lit.provenance or f"anonymous:{lit}") == provenance]
+    if not group:
+        return clause
+    condition_holds = all(evaluate_condition(literal.condition, clause) for literal in group)
+    remaining = [lit for lit in clause.body if lit not in group]
+    if not condition_holds:
+        return HornClause(clause.head, tuple(remaining))
+
+    mapping: dict[Term, Term] = {literal.terms[0]: literal.terms[1] for literal in group}
+    new_body: list[Literal] = []
+    for literal in remaining:
+        if literal.kind is LiteralKind.SIMILARITY and any(term in mapping for term in literal.terms):
+            # The similarity observation was about the original dirty value;
+            # once that value is unified to a fresh one, the observation is
+            # consumed and must not licence further repairs (Example 3.3).
+            continue
+        new_body.append(literal.replace_terms(mapping))
+    new_head = clause.head.replace_terms(mapping)
+    return HornClause(new_head, tuple(new_body))
+
+
+def _variable_clusters(groups: dict[str, list[Literal]]) -> list[list[str]]:
+    """Partition repair groups into clusters that share variables.
+
+    Groups in different clusters cannot influence each other's conditions, so
+    order branching is only needed inside a cluster.
+    """
+    provenance_vars: dict[str, set[Variable]] = {}
+    for provenance, literals in groups.items():
+        variables: set[Variable] = set()
+        for literal in literals:
+            variables |= literal.variables()
+        provenance_vars[provenance] = variables
+
+    clusters: list[tuple[set[str], set[Variable]]] = []
+    for provenance, variables in provenance_vars.items():
+        overlapping = [c for c in clusters if c[1] & variables]
+        merged_names = {provenance}
+        merged_vars = set(variables)
+        for cluster in overlapping:
+            merged_names |= cluster[0]
+            merged_vars |= cluster[1]
+            clusters.remove(cluster)
+        clusters.append((merged_names, merged_vars))
+    return [sorted(names) for names, _ in clusters]
+
+
+def _expand_cluster(clause: HornClause, provenances: tuple[str, ...], max_results: int) -> set[HornClause]:
+    """Branch over the order in which the cluster's groups are processed."""
+    if not provenances:
+        return {clause}
+    results: set[HornClause] = set()
+    for index, provenance in enumerate(provenances):
+        outcome = _apply_or_drop_group(clause, provenance)
+        rest = provenances[:index] + provenances[index + 1 :]
+        results |= _expand_cluster(outcome, rest, max_results)
+        if len(results) >= max_results:
+            break
+    return results
+
+
+def repaired_clauses(
+    clause: HornClause,
+    *,
+    only_provenance_prefix: str | None = None,
+    max_results: int = 64,
+) -> list[HornClause]:
+    """Expand a clause into its repaired clauses (Section 3.2).
+
+    ``only_provenance_prefix`` restricts the expansion to repair groups whose
+    provenance starts with the prefix (e.g. ``"cfd:"``), leaving the other
+    repair literals in place — this is how coverage testing expands only the
+    CFD repairs while relying on Theorem 4.9 for the MD ones.
+
+    The result is de-duplicated; ``max_results`` bounds the combinatorial
+    blow-up (beyond the cap further variants are dropped, which only makes
+    coverage estimates more conservative).
+    """
+    groups = repair_groups(clause)
+    if only_provenance_prefix is not None:
+        groups = {p: literals for p, literals in groups.items() if p.startswith(only_provenance_prefix)}
+    if not groups:
+        return [clause]
+
+    clusters = _variable_clusters(groups)
+    variants: set[HornClause] = {clause}
+    for cluster in clusters:
+        next_variants: set[HornClause] = set()
+        for variant in variants:
+            next_variants |= _expand_cluster(variant, tuple(cluster), max_results)
+            if len(next_variants) >= max_results:
+                break
+        variants = set(list(next_variants)[:max_results])
+
+    cleaned = [variant.prune_dangling_restrictions() for variant in variants]
+    # Deterministic order keeps tests and the learner reproducible.
+    unique = sorted(set(cleaned), key=str)
+    return unique
+
+
+def strip_repair_machinery(clause: HornClause) -> HornClause:
+    """Remove all repair literals and dangling restrictions without applying them.
+
+    Used by the Castor baselines, which ignore the repair semantics entirely.
+    """
+    body = tuple(lit for lit in clause.body if not lit.is_repair)
+    return HornClause(clause.head, body).prune_dangling_restrictions()

@@ -1,0 +1,73 @@
+"""Clause scoring.
+
+DLearn scores a candidate clause by the number of positive examples it covers
+minus the number of negative examples it covers (Section 3.3 / 4.2); the
+covering loop additionally applies a minimum criterion before accepting a
+clause (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.clauses import HornClause
+from .config import DLearnConfig
+from .coverage import CoverageEngine
+from .problem import Example
+
+__all__ = ["ClauseStats", "score_clause"]
+
+
+@dataclass(frozen=True)
+class ClauseStats:
+    """Coverage statistics of one clause over a training set."""
+
+    positives_covered: int
+    negatives_covered: int
+    positives_total: int
+    negatives_total: int
+
+    @property
+    def score(self) -> float:
+        """The paper's clause score: positives covered minus negatives covered."""
+        return self.positives_covered - self.negatives_covered
+
+    @property
+    def precision(self) -> float:
+        covered = self.positives_covered + self.negatives_covered
+        return self.positives_covered / covered if covered else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.positives_covered / self.positives_total if self.positives_total else 0.0
+
+    def satisfies_criterion(self, config: DLearnConfig) -> bool:
+        """Algorithm 1's minimum criterion for accepting a clause."""
+        return (
+            self.positives_covered >= config.min_clause_positive_coverage
+            and self.precision >= config.min_clause_precision
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"pos={self.positives_covered}/{self.positives_total} "
+            f"neg={self.negatives_covered}/{self.negatives_total} "
+            f"score={self.score:.1f} precision={self.precision:.2f}"
+        )
+
+
+def score_clause(
+    engine: CoverageEngine,
+    clause: HornClause,
+    positives: Sequence[Example],
+    negatives: Sequence[Example],
+) -> ClauseStats:
+    """Compute the coverage statistics of *clause* over the given examples."""
+    positives_covered, negatives_covered = engine.covered_counts(clause, positives, negatives)
+    return ClauseStats(
+        positives_covered=positives_covered,
+        negatives_covered=negatives_covered,
+        positives_total=len(positives),
+        negatives_total=len(negatives),
+    )

@@ -1,0 +1,18 @@
+"""Synthetic multi-source dirty datasets mirroring the paper's benchmarks."""
+
+from . import dblp_scholar, imdb_omdb, walmart_amazon
+from .corruption import inject_cfd_violations, name_variant, string_variant
+from .registry import DirtyDataset, available_datasets, generate, register_dataset
+
+__all__ = [
+    "DirtyDataset",
+    "available_datasets",
+    "dblp_scholar",
+    "generate",
+    "imdb_omdb",
+    "inject_cfd_violations",
+    "name_variant",
+    "register_dataset",
+    "string_variant",
+    "walmart_amazon",
+]

@@ -1,0 +1,174 @@
+"""Value heterogeneity and CFD-violation injection.
+
+Two kinds of dirtiness appear in the paper's datasets and both are
+synthesised here:
+
+* **representational heterogeneity** — the same entity is written differently
+  in the two sources (``"Star Wars: Episode IV - 1977"`` vs
+  ``"Star Wars - IV"``).  :func:`string_variant` produces such variants with
+  a controllable intensity; variants are designed to stay *similar* under the
+  paper's composite operator so that the matching dependencies can catch
+  them, while exact equality is broken for most values.
+* **CFD violations** — integrity errors inside one relation.
+  :func:`inject_cfd_violations` adds, for a requested fraction ``p`` of a
+  relation's tuples, a conflicting duplicate that agrees on the CFD's
+  left-hand side but carries a corrupted right-hand side value
+  (Section 6.1.2: "p of 5% means that 5% of tuples in each relation violate
+  at least one CFD").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..constraints.cfds import WILDCARD, ConditionalFunctionalDependency
+from ..db.instance import DatabaseInstance
+from ..db.tuples import Tuple
+
+__all__ = ["string_variant", "name_variant", "corrupted_value", "inject_cfd_violations"]
+
+
+# --------------------------------------------------------------------- #
+# representational heterogeneity
+# --------------------------------------------------------------------- #
+def string_variant(value: str, rng: random.Random, *, year: int | None = None, intensity: float = 1.0) -> str:
+    """Return a differently-formatted representation of *value*.
+
+    ``intensity`` in [0, 1] controls how likely the value is to be changed at
+    all; with probability ``1 - intensity`` the original string is returned,
+    which models the (large) overlap of exactly-equal values between real
+    sources.  The transformations mimic the heterogeneity of the paper's
+    datasets: appended years, dropped subtitles, punctuation and case
+    differences, abbreviations.
+    """
+    if rng.random() >= intensity:
+        return value
+
+    transformations = [_append_year, _drop_subtitle, _punctuation, _casing, _abbreviate_word, _truncate_tail]
+    variant = value
+    transformation = rng.choice(transformations)
+    variant = transformation(variant, rng, year)
+    if variant == value:
+        # Fall back to a transformation guaranteed to change the rendering.
+        variant = _append_year(value, rng, year) if year is not None else _casing(value, rng, None)
+    return variant
+
+
+def _append_year(value: str, rng: random.Random, year: int | None) -> str:
+    if year is None:
+        return value
+    return f"{value} ({year})" if rng.random() < 0.7 else f"{value} - {year}"
+
+
+def _drop_subtitle(value: str, rng: random.Random, _year: int | None) -> str:
+    for separator in (": ", " - "):
+        if separator in value:
+            return value.split(separator, 1)[0]
+    return value
+
+
+def _punctuation(value: str, rng: random.Random, _year: int | None) -> str:
+    replaced = value.replace(":", " -") if ":" in value else value.replace(" ", "  ", 1)
+    return replaced.replace(",", "")
+
+
+def _casing(value: str, rng: random.Random, _year: int | None) -> str:
+    return value.upper() if rng.random() < 0.5 else value.lower()
+
+
+def _abbreviate_word(value: str, rng: random.Random, _year: int | None) -> str:
+    words = value.split()
+    if len(words) < 2:
+        return value
+    position = rng.randrange(len(words))
+    word = words[position]
+    if len(word) > 4:
+        words[position] = word[:4] + "."
+    return " ".join(words)
+
+
+def _truncate_tail(value: str, rng: random.Random, _year: int | None) -> str:
+    words = value.split()
+    if len(words) <= 2:
+        return value
+    return " ".join(words[: len(words) - 1])
+
+
+def name_variant(value: str, rng: random.Random, *, intensity: float = 1.0) -> str:
+    """Heterogeneous representation of a person name (``"J. Smith"``, ``"Smith, John"``)."""
+    if rng.random() >= intensity:
+        return value
+    parts = value.split()
+    if len(parts) != 2:
+        return value
+    first, last = parts
+    style = rng.random()
+    if style < 0.4:
+        return f"{first[0]}. {last}"
+    if style < 0.7:
+        return f"{last}, {first}"
+    return f"{first} {last[0]}."
+
+
+def corrupted_value(original: object, domain: Sequence[object], rng: random.Random) -> object:
+    """Return a value from *domain* different from *original* (for CFD violations)."""
+    candidates = [value for value in domain if value != original]
+    if not candidates:
+        return f"{original}_corrupt"
+    return rng.choice(candidates)
+
+
+# --------------------------------------------------------------------- #
+# CFD violation injection
+# --------------------------------------------------------------------- #
+def inject_cfd_violations(
+    database: DatabaseInstance,
+    cfds: Iterable[ConditionalFunctionalDependency],
+    rate: float,
+    seed: int = 0,
+) -> DatabaseInstance:
+    """Return a copy of *database* where ``rate`` of each constrained relation's tuples violate a CFD.
+
+    For every relation that has at least one CFD, ``rate × |R| / 2`` tuples
+    are selected and each receives a conflicting duplicate: a copy agreeing
+    on the CFD's left-hand side but with a corrupted right-hand side value
+    drawn from the attribute's active domain.  Both the original and the
+    duplicate then participate in a violation, so roughly ``rate`` of the
+    relation's tuples end up violating, matching the paper's definition of
+    ``p``.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("violation rate must be in [0, 1]")
+    cfds = list(cfds)
+    if rate == 0.0 or not cfds:
+        return database.copy()
+
+    rng = random.Random(seed)
+    extra_rows: dict[str, list[Tuple]] = {}
+    by_relation: dict[str, list[ConditionalFunctionalDependency]] = {}
+    for cfd in cfds:
+        by_relation.setdefault(cfd.relation, []).append(cfd)
+
+    for relation_name, relation_cfds in by_relation.items():
+        relation = database.relation(relation_name)
+        schema = relation.schema
+        tuples = relation.tuples()
+        if not tuples:
+            continue
+        pair_count = max(1, round(rate * len(tuples) / 2))
+        victims = rng.sample(tuples, min(pair_count, len(tuples)))
+        for victim in victims:
+            cfd = rng.choice(relation_cfds)
+            domain = sorted(
+                {str(value) for value in relation.distinct_values(cfd.rhs) if value is not None},
+                key=str,
+            )
+            original_value = victim.value_of(schema, cfd.rhs)
+            wrong_value = corrupted_value(original_value, domain, rng)
+            if cfd.rhs_pattern is not WILDCARD and wrong_value == cfd.rhs_pattern:
+                wrong_value = f"{wrong_value}_corrupt"
+            duplicate = victim.replace(schema, cfd.rhs, wrong_value)
+            extra_rows.setdefault(relation_name, []).append(duplicate)
+
+    return database.with_rows(extra_rows)

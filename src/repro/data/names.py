@@ -1,0 +1,173 @@
+"""Vocabularies and name synthesis for the synthetic dirty datasets.
+
+The paper evaluates on three real multi-source datasets from the Magellan
+repository (IMDB+OMDB, Walmart+Amazon, DBLP+Google Scholar).  Those datasets
+are not redistributable here, so the generators in this package synthesise
+databases with the same schemas, the same kinds of cross-source value
+heterogeneity, and the same learning targets.  This module provides the raw
+material: word lists and deterministic composition helpers.
+
+Everything is driven by a caller-supplied :class:`random.Random`, so datasets
+are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = [
+    "movie_title",
+    "person_name",
+    "product_name",
+    "paper_title",
+    "venue_name",
+    "GENRES",
+    "RATINGS",
+    "COUNTRIES",
+    "LANGUAGES",
+    "PRODUCT_CATEGORIES",
+    "PRODUCT_BRANDS",
+    "VENUES",
+]
+
+# --------------------------------------------------------------------- #
+# movie domain
+# --------------------------------------------------------------------- #
+_TITLE_ADJECTIVES = [
+    "Silent", "Broken", "Crimson", "Hidden", "Golden", "Endless", "Savage", "Gentle",
+    "Midnight", "Burning", "Frozen", "Electric", "Hollow", "Distant", "Wild", "Quiet",
+    "Shattered", "Lonely", "Velvet", "Iron", "Scarlet", "Pale", "Brave", "Bitter",
+]
+_TITLE_NOUNS = [
+    "River", "Empire", "Garden", "Horizon", "Station", "Harbor", "Kingdom", "Shadow",
+    "Voyage", "Letter", "Summer", "Winter", "Promise", "Echo", "Storm", "Road",
+    "Orchard", "Island", "Fortress", "Carnival", "Lantern", "Mirror", "Anthem", "Harvest",
+]
+_TITLE_SUFFIXES = [
+    "", "", "", " Returns", " Rising", ": The Beginning", ": Reckoning", " II", " III",
+    " of the North", " at Dawn", " in Winter",
+]
+
+GENRES = ["Drama", "Comedy", "Action", "Thriller", "Romance", "Horror", "Documentary", "Animation"]
+RATINGS = ["R", "PG-13", "PG", "G", "NC-17"]
+COUNTRIES = ["USA", "UK", "France", "Germany", "Spain", "Canada", "Italy", "Japan", "India", "Mexico"]
+LANGUAGES = ["English", "French", "German", "Spanish", "Italian", "Japanese", "Hindi"]
+
+_FIRST_NAMES = [
+    "James", "Maria", "John", "Nina", "Robert", "Elena", "Michael", "Sofia", "David", "Laura",
+    "Carlos", "Emma", "Thomas", "Alice", "Daniel", "Julia", "Kevin", "Hannah", "Peter", "Clara",
+    "Victor", "Irene", "Oscar", "Ruth", "Samuel", "Vera", "Leo", "Iris", "Hugo", "Nora",
+]
+_LAST_NAMES = [
+    "Anderson", "Rivera", "Kowalski", "Tanaka", "Mueller", "Rossi", "Dubois", "Novak",
+    "Johansson", "Silva", "Costa", "Moreau", "Fischer", "Marino", "Petrov", "Larsen",
+    "Okafor", "Haddad", "Nguyen", "Schmidt", "Vargas", "Lindgren", "Baker", "Romero",
+]
+
+
+def movie_title(rng: random.Random) -> str:
+    """Synthesise a clean canonical movie title such as ``"Crimson Harbor Rising"``."""
+    adjective = rng.choice(_TITLE_ADJECTIVES)
+    noun = rng.choice(_TITLE_NOUNS)
+    suffix = rng.choice(_TITLE_SUFFIXES)
+    return f"The {adjective} {noun}{suffix}" if rng.random() < 0.3 else f"{adjective} {noun}{suffix}"
+
+
+def person_name(rng: random.Random) -> str:
+    """Synthesise a person name in ``"First Last"`` form."""
+    return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+
+
+# --------------------------------------------------------------------- #
+# product domain
+# --------------------------------------------------------------------- #
+PRODUCT_CATEGORIES = [
+    "Computers Accessories", "Electronics - General", "Home Audio", "Office Supplies",
+    "Cables Adapters", "Printers Ink", "Networking", "Camera Photo",
+]
+PRODUCT_BRANDS = [
+    "Tribeca", "Novatek", "Kestrel", "Oriole", "BlueRidge", "Halcyon", "Vertex", "Polaris",
+    "Quartz", "Meridian", "Cascade", "Aurora",
+]
+_PRODUCT_NOUNS = [
+    "USB Hub", "Wireless Mouse", "Keyboard", "Laptop Sleeve", "HDMI Cable", "Webcam",
+    "Monitor Stand", "Desk Lamp", "Speaker", "Headset", "Power Adapter", "Card Reader",
+    "Docking Station", "Surge Protector", "Phone Case", "Stylus Pen",
+]
+_PRODUCT_QUALIFIERS = ["Pro", "Mini", "Ultra", "Slim", "Max", "Lite", "Plus", "Classic"]
+
+
+def product_name(rng: random.Random, brand: str) -> str:
+    """Synthesise a product title such as ``"Tribeca Wireless Mouse Pro 2400"``."""
+    noun = rng.choice(_PRODUCT_NOUNS)
+    qualifier = rng.choice(_PRODUCT_QUALIFIERS)
+    model = rng.randint(100, 9900)
+    return f"{brand} {noun} {qualifier} {model}"
+
+
+# --------------------------------------------------------------------- #
+# publications domain
+# --------------------------------------------------------------------- #
+_PAPER_TOPICS = [
+    "Query Optimization", "Entity Resolution", "Data Cleaning", "Schema Matching",
+    "Stream Processing", "Graph Analytics", "Transaction Processing", "Index Structures",
+    "Approximate Query Answering", "Data Integration", "Provenance Tracking", "View Maintenance",
+    "Crowdsourced Labeling", "Relational Learning", "Constraint Discovery", "Duplicate Detection",
+]
+_PAPER_PREFIXES = [
+    "Scalable", "Efficient", "Adaptive", "Incremental", "Distributed", "Robust",
+    "Interactive", "Principled", "Learned", "Declarative",
+]
+_PAPER_PATTERNS = [
+    "{prefix} {topic} over {noun} Data",
+    "{prefix} {topic} in the Cloud",
+    "Towards {prefix} {topic}",
+    "{topic}: A {prefix} Approach",
+    "{prefix} {topic} for Modern Hardware",
+]
+_DATA_NOUNS = ["Relational", "Streaming", "Graph", "Probabilistic", "Versioned", "Dirty", "Web"]
+
+VENUES = [
+    "SIGMOD Conference", "VLDB", "ICDE", "EDBT", "CIKM", "KDD", "PODS", "WWW Conference",
+]
+
+
+def paper_title(rng: random.Random) -> str:
+    """Synthesise a paper title in the style of database venue papers."""
+    pattern = rng.choice(_PAPER_PATTERNS)
+    return pattern.format(
+        prefix=rng.choice(_PAPER_PREFIXES),
+        topic=rng.choice(_PAPER_TOPICS),
+        noun=rng.choice(_DATA_NOUNS),
+    )
+
+
+def venue_name(rng: random.Random) -> str:
+    return rng.choice(VENUES)
+
+
+def distinct_values(rng: random.Random, generator, count: int, max_attempts_factor: int = 20) -> list[str]:
+    """Draw *count* distinct values from a generator function of ``rng``.
+
+    The vocabularies are finite; when a generator cannot produce enough
+    distinct values a numeric disambiguator is appended, so the function
+    always returns exactly *count* values.
+    """
+    values: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(values) < count and attempts < count * max_attempts_factor:
+        candidate = generator(rng)
+        attempts += 1
+        if candidate not in seen:
+            seen.add(candidate)
+            values.append(candidate)
+    suffix = 2
+    while len(values) < count:
+        candidate = f"{generator(rng)} {suffix}"
+        suffix += 1
+        if candidate not in seen:
+            seen.add(candidate)
+            values.append(candidate)
+    return values

@@ -1,0 +1,112 @@
+"""Dataset container and registry.
+
+A :class:`DirtyDataset` packages everything one of the paper's benchmark
+datasets provides: the integrated multi-source database, the target relation,
+labelled examples, the MDs and CFDs, and the bookkeeping the baselines need
+(which source holds the target's key, which attributes are categorical).
+
+:func:`generate` builds any of the three datasets by name, which is what the
+benchmark harness and the examples use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..constraints.cfds import ConditionalFunctionalDependency
+from ..constraints.mds import MatchingDependency
+from ..core.problem import ExampleSet, LearningProblem
+from ..db.instance import DatabaseInstance
+from ..db.schema import RelationSchema
+from .corruption import inject_cfd_violations
+
+__all__ = ["DirtyDataset", "generate", "available_datasets", "register_dataset"]
+
+
+@dataclass
+class DirtyDataset:
+    """One synthetic multi-source dirty dataset (schema + data + constraints + examples)."""
+
+    name: str
+    database: DatabaseInstance
+    target: RelationSchema
+    examples: ExampleSet
+    mds: list[MatchingDependency] = field(default_factory=list)
+    cfds: list[ConditionalFunctionalDependency] = field(default_factory=list)
+    constant_attributes: frozenset[tuple[str, str]] = frozenset()
+    target_source: str | None = None
+    description: str = ""
+
+    # ------------------------------------------------------------------ #
+    def problem(
+        self,
+        *,
+        examples: ExampleSet | None = None,
+        use_mds: bool = True,
+        use_cfds: bool = True,
+    ) -> LearningProblem:
+        """Build the :class:`LearningProblem` this dataset defines."""
+        return LearningProblem(
+            database=self.database,
+            target=self.target,
+            examples=examples if examples is not None else self.examples,
+            mds=list(self.mds) if use_mds else [],
+            cfds=list(self.cfds) if use_cfds else [],
+            constant_attributes=self.constant_attributes,
+        )
+
+    def with_cfd_violations(self, rate: float, seed: int = 0) -> "DirtyDataset":
+        """Return a copy whose database has CFD violations injected at the given rate."""
+        corrupted = inject_cfd_violations(self.database, self.cfds, rate, seed=seed)
+        return replace(self, database=corrupted, name=f"{self.name}+cfd{rate:g}")
+
+    def with_examples(self, examples: ExampleSet) -> "DirtyDataset":
+        return replace(self, examples=examples)
+
+    def summary(self) -> str:
+        counts = self.database.tuple_counts()
+        return (
+            f"{self.name}: {len(counts)} relations, {sum(counts.values())} tuples, "
+            f"{self.examples.describe()}, {len(self.mds)} MDs, {len(self.cfds)} CFDs"
+        )
+
+
+_REGISTRY: dict[str, Callable[..., DirtyDataset]] = {}
+
+
+def register_dataset(name: str, factory: Callable[..., DirtyDataset]) -> None:
+    """Register a dataset factory under a public name (used by the generators)."""
+    _REGISTRY[name] = factory
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`generate`."""
+    _ensure_registered()
+    return sorted(_REGISTRY)
+
+
+def generate(name: str, **kwargs) -> DirtyDataset:
+    """Generate a dataset by name (``imdb_omdb``, ``imdb_omdb_3mds``, ``walmart_amazon``, ``dblp_scholar``).
+
+    Keyword arguments are forwarded to the dataset's generator (all of them
+    accept at least ``n_entities`` and ``seed``).
+    """
+    _ensure_registered()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown dataset {name!r}; available: {available_datasets()}") from exc
+    return factory(**kwargs)
+
+
+def _ensure_registered() -> None:
+    if _REGISTRY:
+        return
+    # Imported lazily to avoid a circular import at package-load time.
+    from . import dblp_scholar, imdb_omdb, walmart_amazon  # noqa: F401
+
+    register_dataset("imdb_omdb", lambda **kw: imdb_omdb.generate(md_count=1, **kw))
+    register_dataset("imdb_omdb_3mds", lambda **kw: imdb_omdb.generate(md_count=3, **kw))
+    register_dataset("walmart_amazon", walmart_amazon.generate)
+    register_dataset("dblp_scholar", dblp_scholar.generate)

@@ -1,0 +1,199 @@
+"""Synthetic Walmart + Amazon dataset (Section 6.1.1, second dataset).
+
+Each product is listed in both stores: the ``walmart`` source knows the UPC,
+titles, brands, coarse group names and prices; the ``amazon`` source knows its
+own product id, titles (formatted differently), fine-grained categories,
+list prices, weights and dimensions.
+
+The target is ``upcOfComputersAccessories(upc)`` — the UPCs of products whose
+category is "Computers Accessories".  The UPC lives only in the Walmart
+source and the category only in the Amazon source, so the matching dependency
+on product titles is what makes the concept learnable.  Products of the
+``Tribeca`` brand are always computer accessories, so a secondary
+within-Walmart clause (``walmart_brand(x, 'Tribeca')``) is also learnable —
+mirroring the second clause DLearn finds in the paper's Section 6.2.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..constraints.cfds import ConditionalFunctionalDependency
+from ..constraints.mds import MatchingDependency
+from ..core.problem import ExampleSet
+from ..db.instance import DatabaseInstance
+from ..db.schema import DatabaseSchema, RelationSchema
+from ..db.types import AttributeType
+from . import names
+from .corruption import string_variant
+from .registry import DirtyDataset
+
+__all__ = ["generate", "schema"]
+
+_TARGET_CATEGORY = "Computers Accessories"
+_ELECTRONICS_GROUP = "Electronics - General"
+_ELECTRONICS_CATEGORIES = {"Computers Accessories", "Cables Adapters", "Networking", "Printers Ink"}
+
+
+def schema() -> DatabaseSchema:
+    """The integrated Walmart+Amazon schema (11 stored relations)."""
+    string = AttributeType.STRING
+    flt = AttributeType.FLOAT
+    return DatabaseSchema.of(
+        RelationSchema.of("walmart_ids", [("walmartId", string), ("brand", string), ("upc", string)], source="walmart"),
+        RelationSchema.of("walmart_title", [("walmartId", string), ("title", string)], source="walmart"),
+        RelationSchema.of("walmart_brand", [("walmartId", string), ("brand", string)], source="walmart"),
+        RelationSchema.of("walmart_groupname", [("walmartId", string), ("groupname", string)], source="walmart"),
+        RelationSchema.of("walmart_price", [("walmartId", string), ("price", flt)], source="walmart"),
+        RelationSchema.of("amazon_title", [("amazonId", string), ("title", string)], source="amazon"),
+        RelationSchema.of("amazon_category", [("amazonId", string), ("category", string)], source="amazon"),
+        RelationSchema.of("amazon_brand", [("amazonId", string), ("brand", string)], source="amazon"),
+        RelationSchema.of("amazon_listprice", [("amazonId", string), ("price", flt)], source="amazon"),
+        RelationSchema.of("amazon_itemweight", [("amazonId", string), ("weight", flt)], source="amazon"),
+        RelationSchema.of("amazon_dimensions", [("amazonId", string), ("dimensions", string)], source="amazon"),
+    )
+
+
+def target_schema() -> RelationSchema:
+    return RelationSchema.of("upcOfComputersAccessories", [("upc", AttributeType.STRING)], source="walmart")
+
+
+@dataclass(frozen=True)
+class _Product:
+    walmart_id: str
+    amazon_id: str
+    upc: str
+    title: str
+    amazon_title: str
+    brand: str
+    category: str
+    group: str
+    price: float
+    weight: float
+    dimensions: str
+
+    @property
+    def is_positive(self) -> bool:
+        return self.category == _TARGET_CATEGORY
+
+
+def _synthesize_products(
+    rng: random.Random,
+    n_products: int,
+    *,
+    p_target_category: float,
+    exact_title_fraction: float,
+) -> list[_Product]:
+    products: list[_Product] = []
+    for index in range(n_products):
+        brand = rng.choice(names.PRODUCT_BRANDS)
+        if brand == "Tribeca":
+            category = _TARGET_CATEGORY
+        elif rng.random() < p_target_category:
+            category = _TARGET_CATEGORY
+        else:
+            category = rng.choice([c for c in names.PRODUCT_CATEGORIES if c != _TARGET_CATEGORY])
+        group = _ELECTRONICS_GROUP if category in _ELECTRONICS_CATEGORIES else "Home & Office"
+        title = names.product_name(rng, brand)
+        amazon_title = title if rng.random() < exact_title_fraction else string_variant(title, rng)
+        price = round(rng.uniform(5, 250), 2)
+        products.append(
+            _Product(
+                walmart_id=f"wm{index:06d}",
+                amazon_id=f"az{index:06d}",
+                upc=f"{rng.randrange(10**11, 10**12)}",
+                title=title,
+                amazon_title=amazon_title,
+                brand=brand,
+                category=category,
+                group=group,
+                price=price,
+                weight=round(rng.uniform(0.1, 5.0), 2),
+                dimensions=f"{rng.randint(2, 40)}x{rng.randint(2, 30)}x{rng.randint(1, 20)}",
+            )
+        )
+    return products
+
+
+def _populate(database: DatabaseInstance, products: list[_Product]) -> None:
+    for product in products:
+        database.insert("walmart_ids", (product.walmart_id, product.brand, product.upc))
+        database.insert("walmart_title", (product.walmart_id, product.title))
+        database.insert("walmart_brand", (product.walmart_id, product.brand))
+        database.insert("walmart_groupname", (product.walmart_id, product.group))
+        database.insert("walmart_price", (product.walmart_id, product.price))
+        database.insert("amazon_title", (product.amazon_id, product.amazon_title))
+        database.insert("amazon_category", (product.amazon_id, product.category))
+        database.insert("amazon_brand", (product.amazon_id, product.brand))
+        database.insert("amazon_listprice", (product.amazon_id, round(product.price * 1.08, 2)))
+        database.insert("amazon_itemweight", (product.amazon_id, product.weight))
+        database.insert("amazon_dimensions", (product.amazon_id, product.dimensions))
+
+
+def _conditional_dependencies() -> list[ConditionalFunctionalDependency]:
+    """The six CFDs of Section 6.1.2 for Walmart+Amazon."""
+    return [
+        ConditionalFunctionalDependency.fd("cfd_wm_upc", "walmart_ids", ["walmartId"], "upc"),
+        ConditionalFunctionalDependency.fd("cfd_wm_title", "walmart_title", ["walmartId"], "title"),
+        ConditionalFunctionalDependency.fd("cfd_wm_brand", "walmart_brand", ["walmartId"], "brand"),
+        ConditionalFunctionalDependency.fd("cfd_az_category", "amazon_category", ["amazonId"], "category"),
+        ConditionalFunctionalDependency.fd("cfd_az_title", "amazon_title", ["amazonId"], "title"),
+        ConditionalFunctionalDependency.fd("cfd_az_price", "amazon_listprice", ["amazonId"], "price"),
+    ]
+
+
+def generate(
+    *,
+    n_products: int = 250,
+    n_positives: int = 40,
+    n_negatives: int = 80,
+    p_target_category: float = 0.25,
+    exact_title_fraction: float = 0.3,
+    seed: int = 11,
+) -> DirtyDataset:
+    """Generate the Walmart+Amazon dataset."""
+    rng = random.Random(seed)
+    products = _synthesize_products(
+        rng,
+        n_products,
+        p_target_category=p_target_category,
+        exact_title_fraction=exact_title_fraction,
+    )
+    database = DatabaseInstance(schema())
+    _populate(database, products)
+
+    positives = [p for p in products if p.is_positive]
+    negatives = [p for p in products if not p.is_positive]
+    rng.shuffle(positives)
+    rng.shuffle(negatives)
+    examples = ExampleSet.of(
+        [(p.upc,) for p in positives[:n_positives]],
+        [(p.upc,) for p in negatives[:n_negatives]],
+    )
+
+    constant_attributes = frozenset(
+        {
+            ("walmart_groupname", "groupname"),
+            ("walmart_brand", "brand"),
+            ("walmart_ids", "brand"),
+            ("amazon_category", "category"),
+            ("amazon_brand", "brand"),
+        }
+    )
+
+    return DirtyDataset(
+        name="Walmart+Amazon",
+        database=database,
+        target=target_schema(),
+        examples=examples,
+        mds=[MatchingDependency.simple("md_product_titles", "walmart_title", "title", "amazon_title", "title")],
+        cfds=_conditional_dependencies(),
+        constant_attributes=constant_attributes,
+        target_source="walmart",
+        description=(
+            "Synthetic stand-in for the Magellan Walmart+Amazon dataset: UPCs of products in the "
+            "'Computers Accessories' category, with the UPC in Walmart, the category in Amazon and "
+            "product titles formatted differently across the stores."
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Main-memory relational engine.
+
+A deliberately small stand-in for the VoltDB instance the paper runs on
+(Section 5): typed schemas, indexed relation instances, conjunctive-query
+evaluation of repaired clauses, and seeded sampling.
+"""
+
+from .index import AttributeIndex, ValueIndex
+from .instance import DatabaseInstance
+from .query import ClauseEvaluator
+from .relation import RelationInstance
+from .sampling import Sampler
+from .schema import Attribute, DatabaseSchema, RelationSchema, SchemaError
+from .tuples import Tuple
+from .types import AttributeType, coerce_value
+
+__all__ = [
+    "Attribute",
+    "AttributeIndex",
+    "AttributeType",
+    "ClauseEvaluator",
+    "DatabaseInstance",
+    "DatabaseSchema",
+    "RelationInstance",
+    "RelationSchema",
+    "Sampler",
+    "SchemaError",
+    "Tuple",
+    "ValueIndex",
+    "coerce_value",
+]

@@ -1,0 +1,79 @@
+"""Hash indexes for the main-memory engine.
+
+Bottom-clause construction repeatedly asks "which tuples of relation R contain
+constant ``a`` in attribute ``A``?" (``σ_{A∈M}(R)`` in Algorithm 2).  The
+paper implements this with VoltDB's indexes; here each relation instance
+maintains
+
+* one :class:`AttributeIndex` per attribute (value → tuple positions), and
+* one :class:`ValueIndex` across all attributes (value → (attribute, position)
+  pairs), which answers "does this relation mention constant ``a`` anywhere?"
+  in O(1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+__all__ = ["AttributeIndex", "ValueIndex"]
+
+
+class AttributeIndex:
+    """Hash index on a single attribute: value → sorted list of row positions."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[object, list[int]] = defaultdict(list)
+
+    def add(self, value: object, row: int) -> None:
+        self._entries[value].append(row)
+
+    def rows_for(self, value: object) -> list[int]:
+        """Row positions whose attribute equals *value* (empty list if none)."""
+        return self._entries.get(value, [])
+
+    def values(self) -> Iterator[object]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._entries
+
+
+class ValueIndex:
+    """Inverted index across all attributes of a relation.
+
+    Maps every value occurring anywhere in the relation to the set of
+    ``(attribute position, row position)`` pairs where it occurs.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: dict[object, set[tuple[int, int]]] = defaultdict(set)
+
+    def add(self, value: object, attribute_position: int, row: int) -> None:
+        self._entries[value].add((attribute_position, row))
+
+    def occurrences(self, value: object) -> set[tuple[int, int]]:
+        return self._entries.get(value, set())
+
+    def rows_for(self, value: object) -> set[int]:
+        """All rows in which *value* occurs in any attribute."""
+        return {row for _, row in self._entries.get(value, set())}
+
+    def rows_for_any(self, values: Iterable[object]) -> set[int]:
+        rows: set[int] = set()
+        for value in values:
+            rows |= self.rows_for(value)
+        return rows
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

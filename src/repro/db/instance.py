@@ -1,0 +1,125 @@
+"""Database instances: a set of relation instances over a schema."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from .relation import RelationInstance
+from .schema import DatabaseSchema, RelationSchema, SchemaError
+from .tuples import Tuple
+
+__all__ = ["DatabaseInstance"]
+
+
+class DatabaseInstance:
+    """An instance ``I`` of a database schema ``S`` (Section 2.1).
+
+    The instance owns one :class:`RelationInstance` per relation of the
+    schema.  It is the object every other subsystem works against: the
+    bottom-clause constructor runs indexed selections over it, constraint
+    checkers scan it for violations, and repair generation produces new
+    instances from it.
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self._relations: dict[str, RelationInstance] = {
+            relation_schema.name: RelationInstance(relation_schema) for relation_schema in schema
+        }
+
+    # ------------------------------------------------------------------ #
+    # insertion / access
+    # ------------------------------------------------------------------ #
+    def relation(self, name: str) -> RelationInstance:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r}") from exc
+
+    def insert(self, relation_name: str, values, *, deduplicate: bool = False) -> Tuple:
+        return self.relation(relation_name).insert(values, deduplicate=deduplicate)
+
+    def insert_many(self, relation_name: str, rows: Iterable, *, deduplicate: bool = False) -> int:
+        return self.relation(relation_name).insert_many(rows, deduplicate=deduplicate)
+
+    def __iter__(self) -> Iterator[RelationInstance]:
+        return iter(self._relations.values())
+
+    def relations(self) -> dict[str, RelationInstance]:
+        return dict(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def tuple_count(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def tuple_counts(self) -> dict[str, int]:
+        return {name: len(relation) for name, relation in self._relations.items()}
+
+    # ------------------------------------------------------------------ #
+    # queries used by Algorithm 2
+    # ------------------------------------------------------------------ #
+    def select_equal(self, relation_name: str, attribute_name: str, value: object) -> list[Tuple]:
+        return self.relation(relation_name).select_equal(attribute_name, value)
+
+    def tuples_containing(self, relation_name: str, values: Iterable[object]) -> list[Tuple]:
+        """``σ_{A∈M}(R)`` over every attribute of the relation."""
+        return self.relation(relation_name).select_any_attribute(values)
+
+    def all_tuples(self) -> Iterator[Tuple]:
+        for relation in self._relations.values():
+            yield from relation
+
+    def value_frequency(self, value: object) -> int:
+        """Number of tuples (across all relations) containing *value* in any attribute."""
+        return sum(len(relation.rows_with_value(value)) for relation in self._relations.values())
+
+    # ------------------------------------------------------------------ #
+    # transformation (repair generation)
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "DatabaseInstance":
+        clone = DatabaseInstance(self.schema)
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        return clone
+
+    def map_relation(self, relation_name: str, transform: Callable[[Tuple], Tuple]) -> "DatabaseInstance":
+        """Return a copy with *transform* applied to every tuple of one relation."""
+        clone = DatabaseInstance(self.schema)
+        for name, relation in self._relations.items():
+            if name == relation_name:
+                clone._relations[name] = relation.map_tuples(transform)
+            else:
+                clone._relations[name] = relation.copy()
+        return clone
+
+    def replace_value_globally(self, old: object, new: object) -> "DatabaseInstance":
+        """Return a copy in which every occurrence of *old* is replaced by *new*.
+
+        This is the semantics of enforcing an MD (Definition 2.2): the two
+        unified values are made identical everywhere they appear.
+        """
+        clone = DatabaseInstance(self.schema)
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.map_tuples(lambda tup: tup.replace_value(old, new))
+        return clone
+
+    def with_rows(self, rows: Mapping[str, Iterable]) -> "DatabaseInstance":
+        """Return a copy with extra rows inserted (keyed by relation name)."""
+        clone = self.copy()
+        for relation_name, relation_rows in rows.items():
+            clone.insert_many(relation_name, relation_rows)
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        lines = [f"{name}: {len(relation)} tuples" for name, relation in sorted(self._relations.items())]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseInstance({self.tuple_count()} tuples over {len(self._relations)} relations)"

@@ -1,0 +1,198 @@
+"""Conjunctive-query evaluation of (repaired) clauses over a database instance.
+
+The learner itself computes coverage through θ-subsumption against ground
+bottom clauses (Section 4.3) because that is far cheaper than evaluating a
+long join.  This module provides the *reference* semantics: direct evaluation
+of a clause body as a conjunctive query over the database, used by the test
+suite to validate the subsumption-based coverage, by the examples to show
+learned clauses in action, and by the baselines when they run over small
+cleaned databases.
+
+Only repaired clauses (no repair literals) can be evaluated directly — a
+clause with repair literals denotes a *set* of repaired clauses and must be
+expanded first (see :mod:`repro.core.repair_literals`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from ..logic.atoms import Literal, LiteralKind
+from ..logic.clauses import HornClause
+from ..logic.terms import Constant, Term, Variable, is_constant, is_variable
+from .instance import DatabaseInstance
+from .tuples import Tuple
+
+__all__ = ["ClauseEvaluator"]
+
+SimilarityPredicate = Callable[[object, object], bool]
+
+
+def _never_similar(_left: object, _right: object) -> bool:
+    return False
+
+
+class ClauseEvaluator:
+    """Evaluate repaired Horn clauses over a :class:`DatabaseInstance`.
+
+    Parameters
+    ----------
+    instance:
+        The database to evaluate against.
+    similarity:
+        Predicate deciding whether two ground values are similar; used to
+        evaluate ``x ≈ y`` literals.  Defaults to "never", which makes the
+        evaluator behave like a plain conjunctive-query engine.
+    max_backtracks:
+        Safety valve on the number of join candidates explored per clause.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        similarity: SimilarityPredicate | None = None,
+        max_backtracks: int = 5_000_000,
+    ) -> None:
+        self.instance = instance
+        self.similarity = similarity or _never_similar
+        self.max_backtracks = max_backtracks
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def covers(self, clause: HornClause, example_values: Sequence[object]) -> bool:
+        """Does ``I ∧ clause ⊨ target(example_values)``?"""
+        if not clause.is_repaired:
+            raise ValueError("only repaired clauses can be evaluated directly; expand repair literals first")
+        if len(example_values) != clause.head.arity:
+            return False
+        bindings: dict[Variable, object] = {}
+        for term, value in zip(clause.head.terms, example_values):
+            if is_constant(term):
+                if term.value != value:
+                    return False
+            else:
+                existing = bindings.get(term, _MISSING)
+                if existing is not _MISSING and existing != value:
+                    return False
+                bindings[term] = value
+        goals = self._ordered_goals(clause)
+        self._budget = self.max_backtracks
+        return self._solve(goals, 0, bindings)
+
+    def covered(self, clause: HornClause, examples: Iterable[Sequence[object]]) -> list[Sequence[object]]:
+        """Return the examples covered by *clause*."""
+        return [example for example in examples if self.covers(clause, example)]
+
+    def any_clause_covers(self, clauses: Iterable[HornClause], example_values: Sequence[object]) -> bool:
+        """Definition coverage: at least one clause covers the example."""
+        return any(self.covers(clause, example_values) for clause in clauses)
+
+    # ------------------------------------------------------------------ #
+    # evaluation engine
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ordered_goals(clause: HornClause) -> list[Literal]:
+        # Relation literals first (they generate bindings), then comparisons
+        # (they only filter).  Within relation literals keep construction
+        # order, which already follows the join structure of the clause.
+        relations = [lit for lit in clause.body if lit.is_relation]
+        comparisons = [lit for lit in clause.body if lit.is_comparison]
+        return relations + comparisons
+
+    def _solve(self, goals: list[Literal], position: int, bindings: dict[Variable, object]) -> bool:
+        if position == len(goals):
+            return True
+        if self._budget <= 0:
+            return False
+        goal = goals[position]
+        if goal.is_relation:
+            return self._solve_relation(goals, position, goal, bindings)
+        return self._solve_comparison(goals, position, goal, bindings)
+
+    def _solve_relation(
+        self, goals: list[Literal], position: int, goal: Literal, bindings: dict[Variable, object]
+    ) -> bool:
+        relation = self.instance.relation(goal.predicate)
+        schema = relation.schema
+        if goal.arity != schema.arity:
+            return False
+        candidates = self._candidate_tuples(relation, goal, bindings)
+        for candidate in candidates:
+            self._budget -= 1
+            if self._budget <= 0:
+                return False
+            new_bindings = self._unify_tuple(goal, candidate, bindings)
+            if new_bindings is None:
+                continue
+            if self._solve(goals, position + 1, new_bindings):
+                return True
+        return False
+
+    def _candidate_tuples(self, relation, goal: Literal, bindings: dict[Variable, object]):
+        """Use the most selective bound argument to narrow the scan."""
+        best: list[Tuple] | None = None
+        for index, term in enumerate(goal.terms):
+            value = None
+            have_value = False
+            if is_constant(term):
+                value, have_value = term.value, True
+            elif term in bindings:
+                value, have_value = bindings[term], True
+            if have_value:
+                attribute_name = relation.schema.attributes[index].name
+                matches = relation.select_equal(attribute_name, value)
+                if best is None or len(matches) < len(best):
+                    best = matches
+                if best is not None and not best:
+                    return []
+        return best if best is not None else relation.tuples()
+
+    @staticmethod
+    def _unify_tuple(goal: Literal, candidate: Tuple, bindings: dict[Variable, object]) -> dict[Variable, object] | None:
+        new_bindings = dict(bindings)
+        for term, value in zip(goal.terms, candidate.values):
+            if is_constant(term):
+                if term.value != value:
+                    return None
+            else:
+                existing = new_bindings.get(term, _MISSING)
+                if existing is not _MISSING and existing != value:
+                    return None
+                new_bindings[term] = value
+        return new_bindings
+
+    def _solve_comparison(
+        self, goals: list[Literal], position: int, goal: Literal, bindings: dict[Variable, object]
+    ) -> bool:
+        left = self._ground(goal.terms[0], bindings)
+        right = self._ground(goal.terms[1], bindings)
+        if left is _MISSING or right is _MISSING:
+            # An unbound comparison variable can only come from a restriction
+            # literal whose anchor was pruned; treat it as satisfiable.
+            return self._solve(goals, position + 1, bindings)
+        if goal.kind is LiteralKind.EQUALITY:
+            ok = left == right
+        elif goal.kind is LiteralKind.INEQUALITY:
+            ok = left != right
+        elif goal.kind is LiteralKind.SIMILARITY:
+            ok = left == right or self.similarity(left, right)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unexpected literal kind {goal.kind}")
+        return ok and self._solve(goals, position + 1, bindings)
+
+    @staticmethod
+    def _ground(term: Term, bindings: dict[Variable, object]):
+        if is_constant(term):
+            return term.value
+        return bindings.get(term, _MISSING)
+
+
+class _Missing:
+    """Sentinel distinguishing 'unbound' from a legitimate ``None`` value."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

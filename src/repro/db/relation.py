@@ -1,0 +1,120 @@
+"""Relation instances: tuple storage plus per-attribute indexes."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .index import AttributeIndex, ValueIndex
+from .schema import RelationSchema
+from .tuples import Tuple
+
+__all__ = ["RelationInstance"]
+
+
+class RelationInstance:
+    """All tuples of one relation, with hash indexes maintained on insert.
+
+    Tuples are stored positionally; positions ("rows") are stable for the
+    lifetime of the instance and are what the indexes refer to.  The engine
+    is insert-only — repairs build *new* instances rather than mutating an
+    existing one, mirroring the paper's treatment of repairs as separate
+    database instances.
+    """
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._tuples: list[Tuple] = []
+        self._attribute_indexes: list[AttributeIndex] = [AttributeIndex() for _ in schema.attributes]
+        self._value_index = ValueIndex()
+        self._tuple_set: set[Tuple] = set()
+
+    # ------------------------------------------------------------------ #
+    # insertion
+    # ------------------------------------------------------------------ #
+    def insert(self, values: Mapping[str, object] | tuple | list | Tuple, *, deduplicate: bool = False) -> Tuple:
+        """Insert a tuple and update indexes.
+
+        With ``deduplicate=True`` an exactly identical tuple is not stored
+        twice (the stored original is returned).  Duplicates arising from
+        *heterogeneous representations* are of course kept — resolving those
+        is the learner's job, not the storage layer's.
+        """
+        tup = values if isinstance(values, Tuple) else Tuple.for_schema(self.schema, values)
+        if tup.relation != self.schema.name:
+            raise ValueError(f"tuple belongs to {tup.relation!r}, not {self.schema.name!r}")
+        if deduplicate and tup in self._tuple_set:
+            return tup
+        row = len(self._tuples)
+        self._tuples.append(tup)
+        self._tuple_set.add(tup)
+        for position, value in enumerate(tup.values):
+            self._attribute_indexes[position].add(value, row)
+            self._value_index.add(value, position, row)
+        return tup
+
+    def insert_many(self, rows: Iterable[Mapping[str, object] | tuple | list | Tuple], *, deduplicate: bool = False) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row, deduplicate=deduplicate)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __contains__(self, tup: Tuple) -> bool:
+        return tup in self._tuple_set
+
+    def tuple_at(self, row: int) -> Tuple:
+        return self._tuples[row]
+
+    def tuples(self) -> list[Tuple]:
+        """Return a copy of the tuple list."""
+        return list(self._tuples)
+
+    # ------------------------------------------------------------------ #
+    # index-backed lookups
+    # ------------------------------------------------------------------ #
+    def select_equal(self, attribute_name: str, value: object) -> list[Tuple]:
+        """``σ_{A = value}(R)`` using the attribute hash index."""
+        position = self.schema.position_of(attribute_name)
+        return [self._tuples[row] for row in self._attribute_indexes[position].rows_for(value)]
+
+    def select_any_attribute(self, values: Iterable[object]) -> list[Tuple]:
+        """``σ_{A ∈ M}(R)`` for every attribute A — tuples containing any value in *values*."""
+        rows = self._value_index.rows_for_any(values)
+        return [self._tuples[row] for row in sorted(rows)]
+
+    def rows_with_value(self, value: object) -> set[int]:
+        return self._value_index.rows_for(value)
+
+    def distinct_values(self, attribute_name: str) -> set[object]:
+        position = self.schema.position_of(attribute_name)
+        return set(self._attribute_indexes[position].values())
+
+    def contains_value(self, value: object) -> bool:
+        return value in self._value_index
+
+    # ------------------------------------------------------------------ #
+    # copies (used by repair generation)
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "RelationInstance":
+        clone = RelationInstance(self.schema)
+        clone.insert_many(self._tuples)
+        return clone
+
+    def map_tuples(self, transform) -> "RelationInstance":
+        """Return a new instance with *transform* applied to every tuple."""
+        clone = RelationInstance(self.schema)
+        for tup in self._tuples:
+            clone.insert(transform(tup), deduplicate=True)
+        return clone
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.schema.name}[{len(self)} tuples]"

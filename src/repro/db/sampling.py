@@ -1,0 +1,67 @@
+"""Deterministic sampling helpers.
+
+DLearn bounds the size of (ground) bottom clauses by sampling at most
+``sample_size`` relevant tuples per relation (Section 5).  All sampling in
+the library goes through this module so that experiments are reproducible
+from a single seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence, TypeVar
+
+__all__ = ["Sampler"]
+
+T = TypeVar("T")
+
+
+class Sampler:
+    """A seeded random sampler shared by a learning run."""
+
+    def __init__(self, seed: int | None = 0) -> None:
+        self._rng = random.Random(seed)
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def sample(self, items: Sequence[T], size: int | None) -> list[T]:
+        """Return at most *size* items, preserving the original order.
+
+        ``size=None`` (or a size at least as large as the sequence) returns
+        the whole sequence as a list.
+        """
+        if size is None or len(items) <= size:
+            return list(items)
+        positions = sorted(self._rng.sample(range(len(items)), size))
+        return [items[position] for position in positions]
+
+    def reservoir(self, items: Iterable[T], size: int) -> list[T]:
+        """Reservoir-sample *size* items from an iterable of unknown length."""
+        reservoir: list[T] = []
+        for count, item in enumerate(items):
+            if count < size:
+                reservoir.append(item)
+            else:
+                slot = self._rng.randint(0, count)
+                if slot < size:
+                    reservoir[slot] = item
+        return reservoir
+
+    def shuffled(self, items: Sequence[T]) -> list[T]:
+        shuffled = list(items)
+        self._rng.shuffle(shuffled)
+        return shuffled
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._rng.choice(items)
+
+    def subsample(self, items: Sequence[T], fraction: float) -> list[T]:
+        """Sample a fraction (0..1] of the items, at least one when non-empty."""
+        if not items:
+            return []
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        size = max(1, round(len(items) * fraction))
+        return self.sample(items, size)

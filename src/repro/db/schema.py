@@ -1,0 +1,160 @@
+"""Relation and database schemas.
+
+A :class:`DatabaseSchema` is a finite set of relation symbols, each with a
+list of typed attributes (Section 2.1).  The schema also records which
+relations belong to which *source* (e.g. ``imdb`` vs ``omdb``) purely for
+reporting — matching dependencies, not sources, drive the learning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .types import AttributeType
+
+__all__ = ["Attribute", "RelationSchema", "DatabaseSchema", "SchemaError"]
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or references to unknown relations/attributes."""
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named, typed attribute of a relation."""
+
+    name: str
+    type: AttributeType = AttributeType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name}:{self.type.value}"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of one relation: a name and an ordered tuple of attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {self.name!r} has duplicate attribute names: {names}")
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        attributes: Iterable[tuple[str, AttributeType] | str | Attribute],
+        source: str | None = None,
+    ) -> "RelationSchema":
+        """Convenience constructor accepting names, (name, type) pairs or Attributes."""
+        built: list[Attribute] = []
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                built.append(spec)
+            elif isinstance(spec, str):
+                built.append(Attribute(spec))
+            else:
+                attr_name, attr_type = spec
+                built.append(Attribute(attr_name, attr_type))
+        return cls(name, tuple(built), source=source)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def position_of(self, attribute_name: str) -> int:
+        for position, attribute in enumerate(self.attributes):
+            if attribute.name == attribute_name:
+                return position
+        raise SchemaError(f"relation {self.name!r} has no attribute {attribute_name!r}")
+
+    def attribute(self, attribute_name: str) -> Attribute:
+        return self.attributes[self.position_of(attribute_name)]
+
+    def has_attribute(self, attribute_name: str) -> bool:
+        return any(a.name == attribute_name for a in self.attributes)
+
+    def __str__(self) -> str:
+        inner = ", ".join(a.name for a in self.attributes)
+        return f"{self.name}({inner})"
+
+
+@dataclass
+class DatabaseSchema:
+    """A collection of relation schemas keyed by relation name."""
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, *relation_schemas: RelationSchema) -> "DatabaseSchema":
+        schema = cls()
+        for relation_schema in relation_schemas:
+            schema.add(relation_schema)
+        return schema
+
+    def add(self, relation_schema: RelationSchema) -> None:
+        if relation_schema.name in self.relations:
+            raise SchemaError(f"relation {relation_schema.name!r} already defined")
+        self.relations[relation_schema.name] = relation_schema
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self.relations)
+
+    def comparable(self, relation_a: str, attribute_a: str, relation_b: str, attribute_b: str) -> bool:
+        """True when the two attributes share a domain (Section 2.2)."""
+        type_a = self.relation(relation_a).attribute(attribute_a).type
+        type_b = self.relation(relation_b).attribute(attribute_b).type
+        return type_a.comparable_with(type_b)
+
+    def merged_with(self, other: "DatabaseSchema") -> "DatabaseSchema":
+        """Return a new schema containing the relations of both schemas.
+
+        Used to integrate two data sources (e.g. IMDB and BOM in the paper's
+        running example) into one database to learn over.
+        """
+        merged = DatabaseSchema(dict(self.relations))
+        for relation_schema in other:
+            merged.add(relation_schema)
+        return merged
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the schema."""
+        lines = []
+        for relation_schema in self.relations.values():
+            source = f"  [{relation_schema.source}]" if relation_schema.source else ""
+            lines.append(f"{relation_schema}{source}")
+        return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Tuples of the main-memory relational engine.
+
+A tuple maps every attribute of its relation schema to a value from the
+attribute's domain (Section 2.1).  Tuples are immutable; updates performed by
+repairs always build new tuples through :meth:`Tuple.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from .schema import RelationSchema, SchemaError
+from .types import coerce_value
+
+__all__ = ["Tuple"]
+
+
+@dataclass(frozen=True)
+class Tuple:
+    """One tuple of a relation.
+
+    Attributes
+    ----------
+    relation:
+        Name of the relation the tuple belongs to.
+    values:
+        Values in schema attribute order.
+    """
+
+    relation: str
+    values: tuple[object, ...]
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_schema(cls, schema: RelationSchema, values: Mapping[str, object] | tuple | list) -> "Tuple":
+        """Build a tuple for *schema*, coercing values to attribute types.
+
+        ``values`` may be positional (a sequence in attribute order) or a
+        mapping from attribute name to value; missing attributes become NULL.
+        """
+        if isinstance(values, Mapping):
+            ordered = [values.get(attribute.name) for attribute in schema.attributes]
+        else:
+            if len(values) != schema.arity:
+                raise SchemaError(
+                    f"relation {schema.name!r} expects {schema.arity} values, got {len(values)}"
+                )
+            ordered = list(values)
+        coerced = tuple(
+            coerce_value(value, attribute.type) for value, attribute in zip(ordered, schema.attributes)
+        )
+        return cls(schema.name, coerced)
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.values)
+
+    def __getitem__(self, position: int) -> object:
+        return self.values[position]
+
+    def value_of(self, schema: RelationSchema, attribute_name: str) -> object:
+        """Return the value of the named attribute (``t[A]`` in the paper)."""
+        return self.values[schema.position_of(attribute_name)]
+
+    def values_of(self, schema: RelationSchema, attribute_names: tuple[str, ...] | list[str]) -> tuple[object, ...]:
+        """Return the values of several attributes (``t[X]`` in the paper)."""
+        return tuple(self.value_of(schema, name) for name in attribute_names)
+
+    # ------------------------------------------------------------------ #
+    # updates (used by repairs)
+    # ------------------------------------------------------------------ #
+    def replace(self, schema: RelationSchema, attribute_name: str, value: object) -> "Tuple":
+        """Return a copy with one attribute value modified."""
+        position = schema.position_of(attribute_name)
+        new_values = list(self.values)
+        new_values[position] = coerce_value(value, schema.attributes[position].type)
+        return Tuple(self.relation, tuple(new_values))
+
+    def replace_value(self, old: object, new: object) -> "Tuple":
+        """Return a copy with every occurrence of *old* replaced by *new*.
+
+        Used when an MD unifies two values: all occurrences of either value
+        anywhere in the database are replaced by the fresh matched value.
+        """
+        if old not in self.values:
+            return self
+        return Tuple(self.relation, tuple(new if value == old else value for value in self.values))
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(value) for value in self.values)
+        return f"{self.relation}({inner})"

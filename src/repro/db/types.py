@@ -1,0 +1,81 @@
+"""Attribute types of the main-memory relational engine.
+
+The engine is deliberately small: DLearn only needs typed attributes so that
+matching dependencies can require *comparable* attributes (attributes sharing
+a domain, Section 2.2) and so that similarity operators know whether to use
+string alignment or numeric comparison.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["AttributeType", "coerce_value", "TypeError_"]
+
+
+class TypeError_(TypeError):
+    """Raised when a value cannot be coerced to an attribute's type."""
+
+
+class AttributeType(enum.Enum):
+    """Domain of an attribute."""
+
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    ANY = "any"
+
+    @property
+    def is_textual(self) -> bool:
+        return self is AttributeType.STRING
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (AttributeType.INTEGER, AttributeType.FLOAT)
+
+    def comparable_with(self, other: "AttributeType") -> bool:
+        """Two attributes are comparable when they share a domain.
+
+        ``ANY`` is comparable with everything; the two numeric types are
+        comparable with each other (an integer year can be matched against a
+        float year coming from a different source).
+        """
+        if self is AttributeType.ANY or other is AttributeType.ANY:
+            return True
+        if self.is_numeric and other.is_numeric:
+            return True
+        return self is other
+
+
+def coerce_value(value: object, attribute_type: AttributeType) -> object:
+    """Coerce *value* to *attribute_type*, keeping ``None`` as SQL NULL.
+
+    Raises :class:`TypeError_` when the value cannot represent a member of
+    the attribute's domain.  Coercion is intentionally forgiving for strings
+    ("2007" is accepted for an INTEGER attribute) because the synthetic dirty
+    datasets include exactly this kind of representational sloppiness.
+    """
+    if value is None or attribute_type is AttributeType.ANY:
+        return value
+    try:
+        if attribute_type is AttributeType.STRING:
+            return value if isinstance(value, str) else str(value)
+        if attribute_type is AttributeType.INTEGER:
+            if isinstance(value, bool):
+                return int(value)
+            return int(value)
+        if attribute_type is AttributeType.FLOAT:
+            return float(value)
+        if attribute_type is AttributeType.BOOLEAN:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1", "yes"):
+                    return True
+                if lowered in ("false", "f", "0", "no"):
+                    return False
+                raise ValueError(value)
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError_(f"cannot coerce {value!r} to {attribute_type.value}") from exc
+    raise TypeError_(f"unsupported attribute type {attribute_type!r}")  # pragma: no cover

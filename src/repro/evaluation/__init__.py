@@ -1,0 +1,41 @@
+"""Evaluation harness: metrics, cross-validation, experiments and reporting."""
+
+from .cross_validation import Fold, stratified_folds, train_test_split
+from .experiments import (
+    EvaluationResult,
+    ExperimentRow,
+    evaluate_learner,
+    run_figure1_examples,
+    run_figure1_sample_size,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+)
+from .metrics import ConfusionMatrix, confusion, f1_score, precision_score, recall_score
+from .reporting import format_rows, format_series, format_table
+from .timing import Stopwatch
+
+__all__ = [
+    "ConfusionMatrix",
+    "EvaluationResult",
+    "ExperimentRow",
+    "Fold",
+    "Stopwatch",
+    "confusion",
+    "evaluate_learner",
+    "f1_score",
+    "format_rows",
+    "format_series",
+    "format_table",
+    "precision_score",
+    "recall_score",
+    "run_figure1_examples",
+    "run_figure1_sample_size",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "stratified_folds",
+    "train_test_split",
+]

@@ -1,0 +1,78 @@
+"""K-fold cross-validation over example sets.
+
+The paper performs 5-fold cross-validation over every dataset and reports the
+average F1-score and learning time (Section 6.1.3).  Folds are stratified:
+positives and negatives are split independently so that every fold keeps the
+dataset's class ratio.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.problem import Example, ExampleSet
+
+__all__ = ["Fold", "stratified_folds", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class Fold:
+    """One train/test split."""
+
+    index: int
+    train: ExampleSet
+    test: ExampleSet
+
+
+def _split_into_folds(examples: Sequence[Example], k: int, rng: random.Random) -> list[list[Example]]:
+    shuffled = list(examples)
+    rng.shuffle(shuffled)
+    folds: list[list[Example]] = [[] for _ in range(k)]
+    for position, example in enumerate(shuffled):
+        folds[position % k].append(example)
+    return folds
+
+
+def stratified_folds(examples: ExampleSet, k: int = 5, seed: int = 0) -> Iterator[Fold]:
+    """Yield ``k`` stratified train/test folds of *examples*.
+
+    Raises ``ValueError`` when there are fewer positives or negatives than
+    folds — each test fold must contain at least one example of each class
+    for the F1-score to be meaningful.
+    """
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if len(examples.positives) < k or len(examples.negatives) < k:
+        raise ValueError(
+            f"need at least {k} positives and negatives for {k}-fold CV, "
+            f"got {len(examples.positives)}/{len(examples.negatives)}"
+        )
+    rng = random.Random(seed)
+    positive_folds = _split_into_folds(examples.positives, k, rng)
+    negative_folds = _split_into_folds(examples.negatives, k, rng)
+
+    for index in range(k):
+        test = ExampleSet(positives=list(positive_folds[index]), negatives=list(negative_folds[index]))
+        train = ExampleSet(
+            positives=[e for i in range(k) if i != index for e in positive_folds[i]],
+            negatives=[e for i in range(k) if i != index for e in negative_folds[i]],
+        )
+        yield Fold(index=index, train=train, test=test)
+
+
+def train_test_split(examples: ExampleSet, test_fraction: float = 0.25, seed: int = 0) -> tuple[ExampleSet, ExampleSet]:
+    """Single stratified split, used by the scalability experiments (Table 6 / Figure 1)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = random.Random(seed)
+    positives = list(examples.positives)
+    negatives = list(examples.negatives)
+    rng.shuffle(positives)
+    rng.shuffle(negatives)
+    positive_cut = max(1, round(len(positives) * test_fraction))
+    negative_cut = max(1, round(len(negatives) * test_fraction))
+    test = ExampleSet(positives=positives[:positive_cut], negatives=negatives[:negative_cut])
+    train = ExampleSet(positives=positives[positive_cut:], negatives=negatives[negative_cut:])
+    return train, test

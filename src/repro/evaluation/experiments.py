@@ -1,0 +1,326 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+Every table and figure of the paper corresponds to one ``run_*`` function
+here; the benchmark modules under ``benchmarks/`` call these functions and
+print the resulting rows.  The functions accept scale parameters (dataset
+size, number of folds, example counts) so that the same code can run both as
+a quick smoke benchmark and as a larger overnight reproduction — the paper's
+datasets have millions of tuples, which a pure-Python learner cannot chew
+through in a benchmark-suite time budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from ..baselines import make_learner
+from ..core.config import DLearnConfig
+from ..core.problem import Example, ExampleSet
+from ..data.registry import DirtyDataset, generate
+from .cross_validation import stratified_folds, train_test_split
+from .metrics import ConfusionMatrix, confusion
+from .timing import Stopwatch
+
+__all__ = [
+    "EvaluationResult",
+    "ExperimentRow",
+    "evaluate_learner",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_table7",
+    "run_figure1_examples",
+    "run_figure1_sample_size",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregated cross-validation outcome for one system on one dataset."""
+
+    system: str
+    dataset: str
+    f1: float
+    precision: float
+    recall: float
+    learning_time_seconds: float
+    folds: int
+    clauses: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dataset:<28} {self.system:<16} F1={self.f1:.2f} "
+            f"P={self.precision:.2f} R={self.recall:.2f} time={self.learning_time_seconds:.1f}s"
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One row of a reproduced table/figure: free-form parameters plus the result."""
+
+    parameters: dict[str, object]
+    result: EvaluationResult
+
+    def as_dict(self) -> dict[str, object]:
+        merged = dict(self.parameters)
+        merged.update(
+            {
+                "system": self.result.system,
+                "dataset": self.result.dataset,
+                "f1": round(self.result.f1, 3),
+                "precision": round(self.result.precision, 3),
+                "recall": round(self.result.recall, 3),
+                "time_s": round(self.result.learning_time_seconds, 2),
+            }
+        )
+        return merged
+
+
+# --------------------------------------------------------------------- #
+# generic evaluation
+# --------------------------------------------------------------------- #
+def _evaluate_on_split(learner_factory: Callable[[], object], dataset: DirtyDataset, train: ExampleSet, test: ExampleSet):
+    problem = dataset.problem(examples=train)
+    learner = learner_factory()
+    with Stopwatch() as watch:
+        model = learner.fit(problem)
+    test_examples: list[Example] = test.all()
+    predictions = model.predict(test_examples)
+    labels = [example.positive for example in test_examples]
+    return confusion(predictions, labels), watch.seconds, len(model.definition)
+
+
+def evaluate_learner(
+    learner_factory: Callable[[], object],
+    dataset: DirtyDataset,
+    *,
+    system: str,
+    folds: int = 5,
+    seed: int = 0,
+) -> EvaluationResult:
+    """Cross-validate one learner on one dataset and average the fold metrics."""
+    total = ConfusionMatrix()
+    total_time = 0.0
+    total_clauses = 0
+    fold_count = 0
+    for fold in stratified_folds(dataset.examples, k=folds, seed=seed):
+        matrix, seconds, clauses = _evaluate_on_split(learner_factory, dataset, fold.train, fold.test)
+        total = total + matrix
+        total_time += seconds
+        total_clauses += clauses
+        fold_count += 1
+    return EvaluationResult(
+        system=system,
+        dataset=dataset.name,
+        f1=total.f1,
+        precision=total.precision,
+        recall=total.recall,
+        learning_time_seconds=total_time / fold_count,
+        folds=fold_count,
+        clauses=total_clauses / fold_count,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table 4 — handling MDs
+# --------------------------------------------------------------------- #
+_TABLE4_DATASETS = ("imdb_omdb", "imdb_omdb_3mds", "walmart_amazon", "dblp_scholar")
+
+
+def run_table4(
+    *,
+    datasets: Sequence[str] = _TABLE4_DATASETS,
+    km_values: Sequence[int] = (2, 5, 10),
+    folds: int = 2,
+    config: DLearnConfig | None = None,
+    dataset_kwargs: dict[str, dict] | None = None,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Reproduce Table 4: Castor baselines vs DLearn (MD-only) at several ``k_m``."""
+    config = config or DLearnConfig(use_cfds=False)
+    dataset_kwargs = dataset_kwargs or {}
+    rows: list[ExperimentRow] = []
+    for dataset_name in datasets:
+        dataset = generate(dataset_name, **dataset_kwargs.get(dataset_name, {}))
+        baselines = [
+            ("Castor-NoMD", lambda: make_learner("castor-nomd", config, target_source=dataset.target_source)),
+            ("Castor-Exact", lambda: make_learner("castor-exact", config)),
+            ("Castor-Clean", lambda: make_learner("castor-clean", config)),
+        ]
+        for system, factory in baselines:
+            result = evaluate_learner(factory, dataset, system=system, folds=folds, seed=seed)
+            rows.append(ExperimentRow({"dataset": dataset_name, "km": None}, result))
+        for km in km_values:
+            km_config = config.but(top_k_matches=km)
+            factory = lambda cfg=km_config: make_learner("dlearn", cfg)
+            result = evaluate_learner(factory, dataset, system=f"DLearn (km={km})", folds=folds, seed=seed)
+            rows.append(ExperimentRow({"dataset": dataset_name, "km": km}, result))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 5 — handling MDs and CFD violations
+# --------------------------------------------------------------------- #
+def run_table5(
+    *,
+    datasets: Sequence[str] = ("imdb_omdb_3mds", "walmart_amazon", "dblp_scholar"),
+    violation_rates: Sequence[float] = (0.05, 0.10, 0.20),
+    folds: int = 2,
+    config: DLearnConfig | None = None,
+    dataset_kwargs: dict[str, dict] | None = None,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Reproduce Table 5: DLearn-CFD vs DLearn-Repaired at increasing violation rates."""
+    config = config or DLearnConfig()
+    dataset_kwargs = dataset_kwargs or {}
+    rows: list[ExperimentRow] = []
+    for dataset_name in datasets:
+        clean_dataset = generate(dataset_name, **dataset_kwargs.get(dataset_name, {}))
+        for rate in violation_rates:
+            dirty_dataset = clean_dataset.with_cfd_violations(rate, seed=seed)
+            for system, learner_name in (("DLearn-CFD", "dlearn-cfd"), ("DLearn-Repaired", "dlearn-repaired")):
+                factory = lambda name=learner_name: make_learner(name, config)
+                result = evaluate_learner(factory, dirty_dataset, system=system, folds=folds, seed=seed)
+                rows.append(ExperimentRow({"dataset": dataset_name, "p": rate}, result))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 6 / Figure 1 (left) — scalability in the number of examples
+# --------------------------------------------------------------------- #
+def run_table6(
+    *,
+    example_counts: Sequence[int] = (20, 40, 60),
+    km_values: Sequence[int] = (5, 2),
+    violation_rate: float = 0.10,
+    config: DLearnConfig | None = None,
+    dataset_kwargs: dict | None = None,
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Reproduce Table 6: DLearn (MD+CFD) while growing the number of training examples.
+
+    ``example_counts`` are the number of positive training examples; the
+    number of negatives is always twice that, matching the paper's 1:2 ratio.
+    """
+    config = config or DLearnConfig()
+    dataset_kwargs = dict(dataset_kwargs or {})
+    largest = max(example_counts)
+    dataset_kwargs.setdefault("n_positives", int(largest / (1 - test_fraction)) + 2)
+    dataset_kwargs.setdefault("n_negatives", 2 * dataset_kwargs["n_positives"])
+    dataset = generate("imdb_omdb_3mds", **dataset_kwargs).with_cfd_violations(violation_rate, seed=seed)
+    train_pool, test = train_test_split(dataset.examples, test_fraction=test_fraction, seed=seed)
+
+    rows: list[ExperimentRow] = []
+    for km in km_values:
+        km_config = config.but(top_k_matches=km)
+        for count in example_counts:
+            train = ExampleSet(
+                positives=train_pool.positives[:count],
+                negatives=train_pool.negatives[: 2 * count],
+            )
+            factory = lambda cfg=km_config: make_learner("dlearn-cfd", cfg)
+            matrix, seconds, clauses = _evaluate_on_split(factory, dataset, train, test)
+            result = EvaluationResult(
+                system=f"DLearn-CFD (km={km})",
+                dataset=dataset.name,
+                f1=matrix.f1,
+                precision=matrix.precision,
+                recall=matrix.recall,
+                learning_time_seconds=seconds,
+                folds=1,
+                clauses=clauses,
+            )
+            rows.append(ExperimentRow({"positives": count, "negatives": 2 * count, "km": km}, result))
+    return rows
+
+
+def run_figure1_examples(
+    *,
+    example_counts: Sequence[int] = (10, 20, 40, 60),
+    config: DLearnConfig | None = None,
+    dataset_kwargs: dict | None = None,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Reproduce Figure 1 (left): MD-only DLearn while growing the number of examples (k_m = 2)."""
+    config = (config or DLearnConfig()).but(use_cfds=False, top_k_matches=2)
+    dataset_kwargs = dict(dataset_kwargs or {})
+    largest = max(example_counts)
+    dataset_kwargs.setdefault("n_positives", int(largest / 0.75) + 2)
+    dataset_kwargs.setdefault("n_negatives", 2 * dataset_kwargs["n_positives"])
+    dataset = generate("imdb_omdb_3mds", **dataset_kwargs)
+    train_pool, test = train_test_split(dataset.examples, test_fraction=0.25, seed=seed)
+
+    rows: list[ExperimentRow] = []
+    for count in example_counts:
+        train = ExampleSet(
+            positives=train_pool.positives[:count],
+            negatives=train_pool.negatives[: 2 * count],
+        )
+        factory = lambda cfg=config: make_learner("dlearn", cfg)
+        matrix, seconds, clauses = _evaluate_on_split(factory, dataset, train, test)
+        result = EvaluationResult(
+            system="DLearn (km=2)",
+            dataset=dataset.name,
+            f1=matrix.f1,
+            precision=matrix.precision,
+            recall=matrix.recall,
+            learning_time_seconds=seconds,
+            folds=1,
+            clauses=clauses,
+        )
+        rows.append(ExperimentRow({"positives": count, "negatives": 2 * count}, result))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Figure 1 (middle/right) — effect of the bottom-clause sample size
+# --------------------------------------------------------------------- #
+def run_figure1_sample_size(
+    *,
+    sample_sizes: Sequence[int] = (4, 6, 8, 10, 14),
+    km_values: Sequence[int] = (2, 5),
+    config: DLearnConfig | None = None,
+    dataset_kwargs: dict | None = None,
+    folds: int = 2,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Reproduce Figure 1 (middle, k_m=2, and right, k_m=5): F1/time vs the sample size."""
+    config = (config or DLearnConfig()).but(use_cfds=False)
+    dataset = generate("imdb_omdb_3mds", **(dataset_kwargs or {}))
+    rows: list[ExperimentRow] = []
+    for km in km_values:
+        for sample_size in sample_sizes:
+            swept = config.but(top_k_matches=km, sample_size=sample_size)
+            factory = lambda cfg=swept: make_learner("dlearn", cfg)
+            result = evaluate_learner(
+                factory, dataset, system=f"DLearn (km={km})", folds=folds, seed=seed
+            )
+            rows.append(ExperimentRow({"sample_size": sample_size, "km": km}, result))
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Table 7 — effect of the number of iterations d
+# --------------------------------------------------------------------- #
+def run_table7(
+    *,
+    iteration_values: Sequence[int] = (2, 3, 4, 5),
+    violation_rate: float = 0.10,
+    km: int = 5,
+    config: DLearnConfig | None = None,
+    dataset_kwargs: dict | None = None,
+    folds: int = 2,
+    seed: int = 0,
+) -> list[ExperimentRow]:
+    """Reproduce Table 7: DLearn-CFD while growing the bottom-clause iteration depth ``d``."""
+    config = (config or DLearnConfig()).but(top_k_matches=km)
+    dataset = generate("imdb_omdb_3mds", **(dataset_kwargs or {})).with_cfd_violations(violation_rate, seed=seed)
+    rows: list[ExperimentRow] = []
+    for depth in iteration_values:
+        swept = config.but(iterations=depth)
+        factory = lambda cfg=swept: make_learner("dlearn-cfd", cfg)
+        result = evaluate_learner(factory, dataset, system=f"DLearn-CFD (d={depth})", folds=folds, seed=seed)
+        rows.append(ExperimentRow({"d": depth, "km": km}, result))
+    return rows

@@ -1,0 +1,90 @@
+"""Classification metrics.
+
+The paper reports the F1-score of the learned definition on held-out examples
+(Section 6.1.3, 5-fold cross-validation).  Metrics are computed from boolean
+predictions against boolean labels; a positive prediction means the learned
+definition covers the example's tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["ConfusionMatrix", "confusion", "f1_score", "precision_score", "recall_score"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """Counts of true/false positives/negatives for one evaluation."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        predicted_positive = self.true_positives + self.false_positives
+        return self.true_positives / predicted_positive if predicted_positive else 0.0
+
+    @property
+    def recall(self) -> float:
+        actual_positive = self.true_positives + self.false_negatives
+        return self.true_positives / actual_positive if actual_positive else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    @property
+    def accuracy(self) -> float:
+        total = self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+        return (self.true_positives + self.true_negatives) / total if total else 0.0
+
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.true_negatives + other.true_negatives,
+            self.false_negatives + other.false_negatives,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"TP={self.true_positives} FP={self.false_positives} "
+            f"TN={self.true_negatives} FN={self.false_negatives} "
+            f"P={self.precision:.2f} R={self.recall:.2f} F1={self.f1:.2f}"
+        )
+
+
+def confusion(predictions: Sequence[bool], labels: Sequence[bool]) -> ConfusionMatrix:
+    """Build a confusion matrix from aligned predictions and labels."""
+    if len(predictions) != len(labels):
+        raise ValueError(f"{len(predictions)} predictions for {len(labels)} labels")
+    tp = fp = tn = fn = 0
+    for predicted, actual in zip(predictions, labels):
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and actual:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionMatrix(tp, fp, tn, fn)
+
+
+def precision_score(predictions: Sequence[bool], labels: Sequence[bool]) -> float:
+    return confusion(predictions, labels).precision
+
+
+def recall_score(predictions: Sequence[bool], labels: Sequence[bool]) -> float:
+    return confusion(predictions, labels).recall
+
+
+def f1_score(predictions: Sequence[bool], labels: Sequence[bool]) -> float:
+    return confusion(predictions, labels).f1

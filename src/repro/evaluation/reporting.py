@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the reproduced tables in a layout close to the
+paper's, so that "who wins, by roughly what factor" can be eyeballed directly
+from the benchmark output (and from ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .experiments import ExperimentRow
+
+__all__ = ["format_rows", "format_table", "format_series"]
+
+
+def format_rows(rows: Sequence[ExperimentRow], *, title: str | None = None) -> str:
+    """Render rows as an aligned text table with one line per row."""
+    dictionaries = [row.as_dict() for row in rows]
+    if not dictionaries:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(dict.fromkeys(key for dictionary in dictionaries for key in dictionary))
+    widths = {
+        column: max(len(str(column)), *(len(_cell(d.get(column))) for d in dictionaries)) for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for dictionary in dictionaries:
+        lines.append("  ".join(_cell(dictionary.get(column)).ljust(widths[column]) for column in columns))
+    return "\n".join(lines)
+
+
+def format_table(rows: Sequence[ExperimentRow], *, group_by: str, title: str) -> str:
+    """Render rows grouped by one parameter (e.g. the dataset), paper-table style."""
+    groups: dict[object, list[ExperimentRow]] = {}
+    for row in rows:
+        groups.setdefault(row.as_dict().get(group_by), []).append(row)
+    sections = [title, "=" * len(title)]
+    for key, group in groups.items():
+        sections.append("")
+        sections.append(format_rows(group, title=f"{group_by} = {key}"))
+    return "\n".join(sections)
+
+
+def format_series(rows: Sequence[ExperimentRow], *, x: str, title: str) -> str:
+    """Render rows as (x, F1, time) series, one line per point — the figures' data."""
+    lines = [title, "=" * len(title), f"{x:<14} {'system':<20} {'F1':>6} {'time_s':>8}"]
+    for row in rows:
+        data = row.as_dict()
+        lines.append(
+            f"{_cell(data.get(x)):<14} {str(data.get('system')):<20} "
+            f"{data.get('f1', 0):>6.2f} {data.get('time_s', 0):>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,32 @@
+"""Tiny wall-clock timing helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Stopwatch() as watch:
+    ...     do_work()
+    >>> watch.seconds
+    """
+
+    seconds: float = 0.0
+    _started: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.seconds = time.perf_counter() - self._started
+
+    @property
+    def minutes(self) -> float:
+        return self.seconds / 60.0

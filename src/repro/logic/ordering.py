@@ -1,0 +1,58 @@
+"""A total order over literals and clause bodies.
+
+The generalisation algorithm (Section 4.2) assumes "a total order between the
+relation symbols and the symbols of repair literals ... e.g., using a
+lexicographical order and adding the condition and argument variables to the
+symbol of the repair literals", which induces an order over the literals of
+every clause in the hypothesis space.  Blocking literals are defined with
+respect to this order.
+
+The order implemented here is:
+
+1. literal kind (relation < similarity < equality < inequality < repair), so
+   that schema literals are considered before the built-in ones;
+2. predicate symbol, lexicographically;
+3. arity;
+4. the textual rendering of the argument terms;
+5. for repair literals, the textual rendering of the condition.
+
+This is a deterministic total order over all literals appearing in a clause,
+which is all the algorithm requires.
+"""
+
+from __future__ import annotations
+
+from .atoms import Literal, LiteralKind
+from .clauses import HornClause
+
+__all__ = ["literal_sort_key", "order_clause_body", "KIND_RANK"]
+
+KIND_RANK: dict[LiteralKind, int] = {
+    LiteralKind.RELATION: 0,
+    LiteralKind.SIMILARITY: 1,
+    LiteralKind.EQUALITY: 2,
+    LiteralKind.INEQUALITY: 3,
+    LiteralKind.REPAIR: 4,
+}
+
+
+def literal_sort_key(literal: Literal) -> tuple[int, str, int, str, str]:
+    """Return the sort key imposing the library's total literal order."""
+    return (
+        KIND_RANK[literal.kind],
+        literal.predicate,
+        literal.arity,
+        "|".join(str(t) for t in literal.terms),
+        str(literal.condition),
+    )
+
+
+def order_clause_body(clause: HornClause) -> HornClause:
+    """Return *clause* with its body sorted by :func:`literal_sort_key`.
+
+    Construction order already groups literals sensibly (tuples of the same
+    relation are adjacent), but sorting makes the blocking-literal search of
+    the generalisation step independent of the insertion order and therefore
+    deterministic across runs.
+    """
+    return clause.sort_body(literal_sort_key)

@@ -1,0 +1,135 @@
+"""Substitutions over the extended clause language.
+
+A substitution θ maps variables to terms.  θ-subsumption, clause
+generalisation and coverage tests all manipulate substitutions; keeping them
+as a small immutable-ish class (mutation only through :meth:`Substitution.bind`)
+keeps the backtracking search in :mod:`repro.logic.subsumption` easy to reason
+about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from .atoms import Literal
+from .terms import Constant, Term, Variable, is_variable
+
+__all__ = ["Substitution"]
+
+
+class Substitution:
+    """A mapping from :class:`Variable` to :class:`Term`.
+
+    The class behaves like a read-only mapping plus a couple of operations
+    tailored to subsumption search:
+
+    * :meth:`bind` — extend with one binding, returning ``None`` on conflict;
+    * :meth:`compose` — standard composition ``(self ∘ other)``;
+    * :meth:`apply_term` / :meth:`apply_literal` — apply the substitution.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Variable, Term] | None = None) -> None:
+        self._mapping: dict[Variable, Term] = dict(mapping) if mapping else {}
+
+    # ------------------------------------------------------------------ #
+    # mapping protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._mapping
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._mapping[variable]
+
+    def get(self, variable: Variable, default: Term | None = None) -> Term | None:
+        return self._mapping.get(variable, default)
+
+    def items(self) -> Iterable[tuple[Variable, Term]]:
+        return self._mapping.items()
+
+    def as_dict(self) -> dict[Variable, Term]:
+        """Return a copy of the underlying mapping."""
+        return dict(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}/{t}" for v, t in sorted(self._mapping.items(), key=lambda kv: kv[0].name))
+        return f"Substitution({{{inner}}})"
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Substitution":
+        return Substitution(self._mapping)
+
+    def bind(self, variable: Variable, term: Term) -> "Substitution | None":
+        """Return a new substitution extended with ``variable -> term``.
+
+        Returns ``None`` when the variable is already bound to a different
+        term (the binding conflicts), which signals failure to the
+        backtracking subsumption search.
+        """
+        existing = self._mapping.get(variable)
+        if existing is not None:
+            return self if existing == term else None
+        extended = self.copy()
+        extended._mapping[variable] = term
+        return extended
+
+    def bind_many(self, pairs: Iterable[tuple[Variable, Term]]) -> "Substitution | None":
+        """Extend with several bindings at once; ``None`` on any conflict."""
+        current: Substitution | None = self
+        for variable, term in pairs:
+            current = current.bind(variable, term)
+            if current is None:
+                return None
+        return current
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return the composition ``θ`` such that ``tθ = (t self) other``."""
+        composed: dict[Variable, Term] = {}
+        for variable, term in self._mapping.items():
+            composed[variable] = other.apply_term(term)
+        for variable, term in other._mapping.items():
+            composed.setdefault(variable, term)
+        return Substitution(composed)
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def apply_term(self, term: Term) -> Term:
+        if is_variable(term):
+            return self._mapping.get(term, term)
+        return term
+
+    def apply_literal(self, literal: Literal) -> Literal:
+        """Apply to every argument term and every condition term."""
+        return literal.replace_terms({v: t for v, t in self._mapping.items()})
+
+    def apply_literals(self, literals: Iterable[Literal]) -> tuple[Literal, ...]:
+        return tuple(self.apply_literal(literal) for literal in literals)
+
+    # ------------------------------------------------------------------ #
+    # analysis helpers
+    # ------------------------------------------------------------------ #
+    def is_variable_renaming(self) -> bool:
+        """True when the substitution maps variables to *distinct* variables."""
+        targets = list(self._mapping.values())
+        if any(isinstance(t, Constant) for t in targets):
+            return False
+        return len(set(targets)) == len(targets)
+
+    def restrict(self, variables: set[Variable]) -> "Substitution":
+        """Return the substitution restricted to *variables*."""
+        return Substitution({v: t for v, t in self._mapping.items() if v in variables})

@@ -1,0 +1,591 @@
+"""θ-subsumption for clauses of the extended language.
+
+``C`` θ-subsumes ``D`` (written ``C ⊆_θ D``) iff there is a substitution θ
+such that ``Cθ ⊆ D`` when literals are compared as a set.  θ-subsumption is
+the generality order used by bottom-up relational learners: it is sound for
+logical entailment of Horn clauses and, by the paper's Theorem 4.6, remains
+sound for clauses that carry repair literals under Definition 4.4's extra
+requirement:
+
+    every repair literal of ``D`` connected to a mapped (non-repair) literal
+    of ``D`` must itself be a mapped literal under θ.
+
+The checker also implements the "additional testings" the paper alludes to
+for equality and similarity literals:
+
+* equality literals of ``D`` are collapsed first (union–find) — if ``D``
+  asserts ``x = y`` the two variables denote the same value in every model of
+  ``D``, so matching against the collapsed clause is sound and much faster;
+* an equality literal of ``C`` is satisfied when both sides map to the same
+  collapsed term of ``D`` (or one side is still unbound, in which case it is
+  bound to the other side's image);
+* a similarity literal of ``C`` must map to a similarity literal of ``D``
+  (similarity is treated as symmetric) or to a pair of identical terms;
+* an inequality literal of ``C`` is satisfied when its sides map to terms
+  that are not collapsed together (a conservative test — the paper drops
+  inequality literals from learned clauses, so this only matters for
+  user-constructed clauses).
+
+θ-subsumption is NP-complete; the implementation is a backtracking search
+with signature indexing, most-constrained-literal-first ordering and constant
+pre-filtering, which is fast on the clause sizes produced by bottom-clause
+construction (tens to a few hundreds of literals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .atoms import Comparison, ComparisonOp, Literal, LiteralKind
+from .clauses import HornClause
+from .substitution import Substitution
+from .terms import Constant, Term, Variable, is_constant, is_variable
+
+__all__ = ["PreparedClause", "SubsumptionChecker", "SubsumptionResult", "theta_subsumes"]
+
+
+@dataclass
+class SubsumptionResult:
+    """Outcome of a subsumption check.
+
+    ``subsumes`` tells whether a witnessing substitution exists; when it does,
+    ``theta`` holds one witness and ``mapped`` the literals of ``D`` that are
+    images of ``C``'s literals under that witness.
+    """
+
+    subsumes: bool
+    theta: Substitution | None = None
+    mapped: frozenset[Literal] = field(default_factory=frozenset)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.subsumes
+
+
+@dataclass
+class PreparedClause:
+    """Pre-processed 'specific' side of subsumption checks (see :meth:`SubsumptionChecker.prepare`)."""
+
+    clause: HornClause
+    collapse: "_UnionFind"
+    index: dict[tuple[str, str, int], list[Literal]]
+    similar: set[frozenset[Term]]
+    unequal: set[frozenset[Term]]
+
+
+class _BudgetExceeded(Exception):
+    """Raised internally when a search exceeds the checker's step budget."""
+
+
+class _UnionFind:
+    """Union–find over terms, used to collapse D-side equality literals."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Term, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        parent = self._parent.get(term, term)
+        if parent == term:
+            return term
+        root = self.find(parent)
+        self._parent[term] = root
+        return root
+
+    def union(self, left: Term, right: Term) -> None:
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return
+        # Prefer constants as representatives so collapsed variables expose
+        # their ground value to constant pre-filtering.
+        if is_constant(root_left):
+            self._parent[root_right] = root_left
+        else:
+            self._parent[root_left] = root_right
+
+
+class SubsumptionChecker:
+    """Reusable θ-subsumption checker.
+
+    A single instance carries configuration only; it is safe to share across
+    threads because every :meth:`subsumes` call keeps its state on the stack.
+
+    Parameters
+    ----------
+    respect_repair_connectivity:
+        Enforce the second bullet of Definition 4.4.  Disable to obtain plain
+        θ-subsumption that treats repair literals as ordinary binary atoms
+        (used by the MD-only fast path of coverage testing, Theorem 4.9).
+    condition_subset:
+        When matching a repair literal of ``C`` against one of ``D``, require
+        the substituted condition of ``C`` to be a *subset* of ``D``'s
+        condition instead of strictly equal.  Subset matching is the right
+        notion once generalisation has dropped literals (and with them some
+        of the comparisons a condition referred to).
+    max_steps:
+        Safety valve on the number of candidate-match attempts per search;
+        ``None`` disables the limit.  When the limit is hit the clause pair
+        is reported as not subsuming, which is sound for learning (a clause
+        is never *wrongly* considered more general).
+    """
+
+    def __init__(
+        self,
+        *,
+        respect_repair_connectivity: bool = True,
+        condition_subset: bool = True,
+        max_steps: int | None = 100_000,
+    ) -> None:
+        self.respect_repair_connectivity = respect_repair_connectivity
+        self.condition_subset = condition_subset
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def prepare(self, specific: HornClause) -> "PreparedClause":
+        """Pre-process the specific (D) side of subsumption checks.
+
+        Coverage testing subsumes many candidate clauses against the same
+        ground bottom clause; preparing it once (equality collapse, signature
+        index, similarity/inequality pair sets) and reusing the result avoids
+        repeating the O(|D|) preprocessing on every call.
+        """
+        collapse = self._collapse_map(specific)
+        d_literals = self._collapsed_structural_literals(specific, collapse)
+        return PreparedClause(
+            clause=specific,
+            collapse=collapse,
+            index=self._index_by_signature(d_literals),
+            similar=self._collapsed_pairs(specific, LiteralKind.SIMILARITY, collapse),
+            unequal=self._collapsed_pairs(specific, LiteralKind.INEQUALITY, collapse),
+        )
+
+    def _as_prepared(self, specific: "HornClause | PreparedClause") -> "PreparedClause":
+        return specific if isinstance(specific, PreparedClause) else self.prepare(specific)
+
+    def _seed_theta(self, general: HornClause, prepared: "PreparedClause") -> Substitution | None:
+        if general.head.predicate != prepared.clause.head.predicate or general.head.arity != prepared.clause.head.arity:
+            return None
+        return self._match_terms(
+            general.head.terms,
+            tuple(prepared.collapse.find(t) for t in prepared.clause.head.terms),
+            Substitution(),
+        )
+
+    def subsumes(self, general: HornClause, specific: "HornClause | PreparedClause") -> SubsumptionResult:
+        """Check whether *general* θ-subsumes *specific*."""
+        prepared = self._as_prepared(specific)
+        seeded = self._seed_theta(general, prepared)
+        if seeded is None:
+            return SubsumptionResult(False)
+
+        structural = [lit for lit in general.body if lit.is_relation or lit.is_repair]
+        comparisons = [lit for lit in general.body if lit.is_comparison]
+
+        self._steps = 0
+        try:
+            witness = self._search(
+                structural, seeded, {}, prepared.index, prepared.collapse, comparisons, prepared.similar, prepared.unequal
+            )
+            if witness is None:
+                return SubsumptionResult(False)
+            theta, assignment = witness
+
+            mapped = frozenset(assignment.values())
+            if self.respect_repair_connectivity and not self._repair_connectivity_ok(
+                prepared.clause, prepared.collapse, mapped
+            ):
+                # Retry exhaustively for another witness satisfying the
+                # connectivity requirement.  Connectivity violations are rare
+                # in practice (they require an unmapped repair literal
+                # touching a mapped one), so the retry seldom runs.
+                witness = self._search(
+                    structural,
+                    seeded,
+                    {},
+                    prepared.index,
+                    prepared.collapse,
+                    comparisons,
+                    prepared.similar,
+                    prepared.unequal,
+                    require_connectivity=prepared.clause,
+                )
+                if witness is None:
+                    return SubsumptionResult(False)
+                theta, assignment = witness
+                mapped = frozenset(assignment.values())
+        except _BudgetExceeded:
+            return SubsumptionResult(False)
+
+        return SubsumptionResult(True, theta, mapped)
+
+    def retained_generalization(
+        self, general: HornClause, specific: "HornClause | PreparedClause"
+    ) -> list[Literal]:
+        """Return the body literals of *general* that can be retained while subsuming *specific*.
+
+        This is the workhorse of the ARMG generalisation step (Section 4.2):
+        body literals are processed in their given order and every *blocking*
+        literal — one that cannot be mapped into *specific* consistently with
+        the literals retained so far — is dropped.  The implementation keeps
+        a witness substitution and first tries to extend it greedily with
+        each new literal; only when the greedy extension fails does it fall
+        back to a full backtracking search over the retained set plus the new
+        literal, so the common case costs one candidate scan per literal
+        rather than one NP-hard subsumption test per prefix.
+
+        The retained literal list always θ-subsumes *specific* (relative to
+        the head mapping); the caller is responsible for dropping literals
+        that lost their head-connection afterwards.
+        """
+        prepared = self._as_prepared(specific)
+        theta = self._seed_theta(general, prepared)
+        if theta is None:
+            return []
+
+        kept: list[Literal] = []
+        kept_structural: list[Literal] = []
+        kept_comparisons: list[Literal] = []
+        assignment: dict[Literal, Literal] = {}
+
+        for literal in general.body:
+            if literal.is_comparison:
+                extended = self._check_comparisons(
+                    [literal], theta, prepared.collapse, prepared.similar, prepared.unequal
+                )
+                if extended is None:
+                    # The comparison may only fail because of an earlier greedy
+                    # binding (e.g. a similarity literal whose partner variable
+                    # was bound to the wrong candidate); retry with full
+                    # backtracking before declaring it blocking.
+                    witness = self._retry_with_backtracking(
+                        general, prepared, kept_structural, kept_comparisons + [literal]
+                    )
+                    if witness is not None:
+                        theta, assignment = witness
+                        kept.append(literal)
+                        kept_comparisons.append(literal)
+                    continue
+                theta = extended
+                kept.append(literal)
+                kept_comparisons.append(literal)
+                continue
+
+            extended = None
+            for candidate in prepared.index.get(literal.signature(), ()):
+                extended = self._match_literal(literal, candidate, theta)
+                if extended is not None:
+                    assignment[literal] = candidate
+                    theta = extended
+                    break
+            if extended is not None:
+                kept.append(literal)
+                kept_structural.append(literal)
+                continue
+
+            # Greedy extension failed.  If the literal cannot be matched even
+            # under the head mapping alone it is blocking no matter what the
+            # other goals chose — drop it without the expensive retry.
+            head_theta = self._seed_theta(general, prepared)
+            if not any(
+                self._match_literal(literal, candidate, head_theta) is not None
+                for candidate in prepared.index.get(literal.signature(), ())
+            ):
+                continue
+
+            # Otherwise the failure may be due to an earlier greedy choice, so
+            # retry with full backtracking over everything retained so far
+            # plus this literal.
+            witness = self._retry_with_backtracking(
+                general, prepared, kept_structural + [literal], kept_comparisons
+            )
+            if witness is None:
+                continue  # genuinely blocking: drop it
+            theta, assignment = witness
+            kept.append(literal)
+            kept_structural.append(literal)
+
+        return kept
+
+    def _retry_with_backtracking(
+        self,
+        general: HornClause,
+        prepared: "PreparedClause",
+        structural: list[Literal],
+        comparisons: list[Literal],
+    ) -> tuple[Substitution, dict[Literal, Literal]] | None:
+        """Full backtracking search used when the greedy witness extension fails."""
+        self._steps = 0
+        try:
+            return self._search(
+                structural,
+                self._seed_theta(general, prepared),
+                {},
+                prepared.index,
+                prepared.collapse,
+                comparisons,
+                prepared.similar,
+                prepared.unequal,
+            )
+        except _BudgetExceeded:
+            return None  # treat as blocking: dropping is the conservative choice
+
+    # ------------------------------------------------------------------ #
+    # preprocessing helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _collapse_map(clause: HornClause) -> _UnionFind:
+        uf = _UnionFind()
+        for literal in clause.body:
+            if literal.kind is LiteralKind.EQUALITY:
+                uf.union(literal.terms[0], literal.terms[1])
+        return uf
+
+    @staticmethod
+    def _canon(term: Term, collapse: _UnionFind) -> Term:
+        return collapse.find(term)
+
+    def _collapsed_structural_literals(self, clause: HornClause, collapse: _UnionFind) -> list[Literal]:
+        mapping_cache: dict[Term, Term] = {}
+
+        def canon(term: Term) -> Term:
+            if term not in mapping_cache:
+                mapping_cache[term] = collapse.find(term)
+            return mapping_cache[term]
+
+        literals: list[Literal] = []
+        for literal in clause.body:
+            if literal.is_relation or literal.is_repair:
+                mapping = {t: canon(t) for t in literal.all_terms()}
+                literals.append(literal.replace_terms(mapping))
+        return literals
+
+    @staticmethod
+    def _collapsed_pairs(clause: HornClause, kind: LiteralKind, collapse: _UnionFind) -> set[frozenset[Term]]:
+        pairs: set[frozenset[Term]] = set()
+        for literal in clause.body:
+            if literal.kind is kind:
+                left = collapse.find(literal.terms[0])
+                right = collapse.find(literal.terms[1])
+                pairs.add(frozenset((left, right)))
+        return pairs
+
+    @staticmethod
+    def _index_by_signature(literals: Sequence[Literal]) -> dict[tuple[str, str, int], list[Literal]]:
+        index: dict[tuple[str, str, int], list[Literal]] = {}
+        for literal in literals:
+            index.setdefault(literal.signature(), []).append(literal)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # matching primitives
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _match_terms(
+        general_terms: Sequence[Term], specific_terms: Sequence[Term], theta: Substitution
+    ) -> Substitution | None:
+        if len(general_terms) != len(specific_terms):
+            return None
+        current: Substitution | None = theta
+        for g_term, s_term in zip(general_terms, specific_terms):
+            if is_constant(g_term):
+                if g_term != s_term:
+                    return None
+                continue
+            current = current.bind(g_term, s_term)
+            if current is None:
+                return None
+        return current
+
+    def _match_literal(self, general: Literal, specific: Literal, theta: Substitution) -> Substitution | None:
+        if general.signature() != specific.signature():
+            return None
+        extended = self._match_terms(general.terms, specific.terms, theta)
+        if extended is None:
+            return None
+        if general.is_repair:
+            extended = self._match_condition(general, specific, extended)
+        return extended
+
+    def _match_condition(self, general: Literal, specific: Literal, theta: Substitution) -> Substitution | None:
+        """Match the condition of a general repair literal against a specific one.
+
+        Comparisons whose terms are fully bound must appear (after
+        substitution) in the specific condition; comparisons mentioning an
+        unbound variable are deferred — they only constrain the repair
+        application, not subsumption, and the paper's proofs treat conditions
+        as carried along by the mapping of the argument variables.
+        """
+        specific_comparisons = {self._comparison_key(c) for c in specific.condition.comparisons}
+        if not self.condition_subset:
+            general_applied = {self._comparison_key(c.replace_terms(theta.as_dict())) for c in general.condition.comparisons}
+            return theta if general_applied == specific_comparisons else None
+        for comparison in general.condition.comparisons:
+            substituted = comparison.replace_terms(theta.as_dict())
+            if substituted_has_unbound(substituted, theta):
+                # Comparisons over still-unbound variables only constrain the
+                # eventual repair application, not the subsumption mapping.
+                continue
+            if self._comparison_key(substituted) not in specific_comparisons:
+                return None
+        return theta
+
+    @staticmethod
+    def _comparison_key(comparison: Comparison) -> tuple[str, frozenset[Term]] | tuple[str, Term, Term]:
+        # = , != and ~ are all symmetric comparisons.
+        return (comparison.op.value, frozenset((comparison.left, comparison.right)))
+
+    # ------------------------------------------------------------------ #
+    # backtracking search
+    # ------------------------------------------------------------------ #
+    def _search(
+        self,
+        goals: Sequence[Literal],
+        theta: Substitution,
+        assignment: dict[Literal, Literal],
+        d_index: dict[tuple[str, str, int], list[Literal]],
+        collapse: _UnionFind,
+        comparisons: list[Literal],
+        d_similar: set[frozenset[Term]],
+        d_unequal: set[frozenset[Term]],
+        require_connectivity: HornClause | None = None,
+    ) -> tuple[Substitution, dict[Literal, Literal]] | None:
+        """Backtracking search with dynamic most-constrained-goal-first ordering.
+
+        At every step the unassigned goal with the fewest candidates
+        consistent with the current substitution is chosen.  Bottom clauses
+        are join trees: once the head variables are bound, the goal touching
+        them has one or two consistent candidates, assigning it binds more
+        variables, and the cascade keeps the branching factor close to one.
+        Goals sharing no variable with anything bound are postponed until the
+        end, where any candidate works.  A goal with zero consistent
+        candidates is selected immediately, which is what makes failing
+        prefixes fail fast during generalisation.
+
+        Raises :class:`_BudgetExceeded` when the per-check step budget runs
+        out; callers translate that into a conservative "does not subsume".
+        """
+        remaining = [goal for goal in goals if goal not in assignment]
+        if not remaining:
+            final = self._check_comparisons(comparisons, theta, collapse, d_similar, d_unequal)
+            if final is None:
+                return None
+            if require_connectivity is not None:
+                mapped = frozenset(assignment.values())
+                if not self._repair_connectivity_ok(require_connectivity, collapse, mapped):
+                    return None
+            return final, dict(assignment)
+
+        # Pick the unassigned goal with the fewest consistent candidates.
+        best_goal: Literal | None = None
+        best_matches: list[tuple[Literal, Substitution]] = []
+        for goal in remaining:
+            matches: list[tuple[Literal, Substitution]] = []
+            for candidate in d_index.get(goal.signature(), ()):
+                if self.max_steps is not None:
+                    self._steps += 1
+                    if self._steps > self.max_steps:
+                        raise _BudgetExceeded()
+                extended = self._match_literal(goal, candidate, theta)
+                if extended is not None:
+                    matches.append((candidate, extended))
+                    if best_goal is not None and len(matches) >= len(best_matches):
+                        break
+            if best_goal is None or len(matches) < len(best_matches):
+                best_goal, best_matches = goal, matches
+                if not best_matches:
+                    return None
+                if len(best_matches) == 1:
+                    break
+
+        assert best_goal is not None
+        for candidate, extended in best_matches:
+            assignment[best_goal] = candidate
+            result = self._search(
+                goals,
+                extended,
+                assignment,
+                d_index,
+                collapse,
+                comparisons,
+                d_similar,
+                d_unequal,
+                require_connectivity,
+            )
+            if result is not None:
+                return result
+            del assignment[best_goal]
+        return None
+
+    def _check_comparisons(
+        self,
+        comparisons: list[Literal],
+        theta: Substitution,
+        collapse: _UnionFind,
+        d_similar: set[frozenset[Term]],
+        d_unequal: set[frozenset[Term]],
+    ) -> Substitution | None:
+        current = theta
+        # Equality literals first: they may bind still-free variables.
+        for literal in sorted(comparisons, key=lambda lit: 0 if lit.kind is LiteralKind.EQUALITY else 1):
+            left = collapse.find(current.apply_term(literal.terms[0]))
+            right = collapse.find(current.apply_term(literal.terms[1]))
+            if literal.kind is LiteralKind.EQUALITY:
+                if left == right:
+                    continue
+                if is_variable(left) and left == literal.terms[0] and left not in current:
+                    bound = current.bind(left, right)
+                elif is_variable(right) and right == literal.terms[1] and right not in current:
+                    bound = current.bind(right, left)
+                else:
+                    bound = None
+                if bound is None:
+                    return None
+                current = bound
+            elif literal.kind is LiteralKind.SIMILARITY:
+                if left == right:
+                    continue
+                if frozenset((left, right)) not in d_similar:
+                    return None
+            elif literal.kind is LiteralKind.INEQUALITY:
+                if left == right and is_constant(left):
+                    return None
+                if left == right and frozenset((left, right)) not in d_unequal:
+                    return None
+        return current
+
+    # ------------------------------------------------------------------ #
+    # Definition 4.4, second bullet
+    # ------------------------------------------------------------------ #
+    def _repair_connectivity_ok(
+        self, specific: HornClause, collapse: _UnionFind, mapped: frozenset[Literal]
+    ) -> bool:
+        """Every repair literal of D connected to a mapped non-repair literal must be mapped."""
+        collapsed_body = {
+            literal.replace_terms({t: collapse.find(t) for t in literal.all_terms()}): literal
+            for literal in specific.body
+            if literal.is_relation or literal.is_repair
+        }
+        collapsed_clause = HornClause(specific.head, tuple(collapsed_body))
+        mapped_set = set(mapped)
+        for collapsed_literal in collapsed_clause.body:
+            if collapsed_literal.is_repair or collapsed_literal not in mapped_set:
+                continue
+            for repair in collapsed_clause.repair_literals_connected_to(collapsed_literal):
+                if repair not in mapped_set:
+                    return False
+        return True
+
+
+def substituted_has_unbound(comparison: Comparison, theta: Substitution) -> bool:
+    """True when the substituted comparison still mentions an unbound variable."""
+    return any(is_variable(t) and t not in theta for t in comparison.terms())
+
+
+_DEFAULT_CHECKER = SubsumptionChecker()
+
+
+def theta_subsumes(general: HornClause, specific: HornClause, checker: SubsumptionChecker | None = None) -> bool:
+    """Convenience wrapper returning only the boolean verdict."""
+    return (checker or _DEFAULT_CHECKER).subsumes(general, specific).subsumes

@@ -1,0 +1,18 @@
+"""String and value similarity: the paper's ``≈`` operator and its indexes."""
+
+from .composite import CompositeSimilarity, SimilarityOperator
+from .index import SimilarityIndex, SimilarityMatch
+from .length import LengthSimilarity
+from .qgrams import QGramBlocker, qgrams
+from .swg import SmithWatermanGotoh
+
+__all__ = [
+    "CompositeSimilarity",
+    "LengthSimilarity",
+    "QGramBlocker",
+    "SimilarityIndex",
+    "SimilarityMatch",
+    "SimilarityOperator",
+    "SmithWatermanGotoh",
+    "qgrams",
+]

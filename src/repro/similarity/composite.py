@@ -1,0 +1,76 @@
+"""The paper's composite similarity operator and a generic threshold wrapper.
+
+Section 5: "To implement similarity over strings, DLearn uses the operator
+defined as the average of the Smith-Waterman-Gotoh and the Length similarity
+functions."  Numeric values are compared by relative difference so that MDs
+over numeric attributes (e.g. years or prices from different sources) also
+work; the paper states its results are orthogonal to the exact similarity
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .length import LengthSimilarity
+from .swg import SmithWatermanGotoh
+
+__all__ = ["CompositeSimilarity", "SimilarityOperator"]
+
+
+@dataclass(frozen=True)
+class CompositeSimilarity:
+    """Average of Smith–Waterman–Gotoh and Length similarity for strings.
+
+    Numbers are compared as ``1 - |a - b| / max(|a|, |b|)`` (1.0 when both are
+    zero); values of different kinds fall back to string comparison of their
+    renderings.
+    """
+
+    alignment: SmithWatermanGotoh = field(default_factory=SmithWatermanGotoh)
+    length: LengthSimilarity = field(default_factory=LengthSimilarity)
+
+    def similarity(self, left: object, right: object) -> float:
+        if left is None or right is None:
+            return 0.0
+        if left == right:
+            return 1.0
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)) and not isinstance(left, bool) and not isinstance(right, bool):
+            return self._numeric_similarity(float(left), float(right))
+        left_str, right_str = str(left), str(right)
+        return (self.alignment.similarity(left_str, right_str) + self.length.similarity(left_str, right_str)) / 2.0
+
+    @staticmethod
+    def _numeric_similarity(left: float, right: float) -> float:
+        if left == right:
+            return 1.0
+        denominator = max(abs(left), abs(right))
+        if denominator == 0:
+            return 1.0
+        return max(0.0, 1.0 - abs(left - right) / denominator)
+
+    def __call__(self, left: object, right: object) -> float:
+        return self.similarity(left, right)
+
+
+@dataclass(frozen=True)
+class SimilarityOperator:
+    """A similarity measure plus a decision threshold: the ``≈`` operator.
+
+    Matching dependencies are phrased in terms of a boolean similarity
+    operator ``≈_dom`` (Section 2.2); this class turns any scoring function
+    into that operator.
+    """
+
+    measure: CompositeSimilarity = field(default_factory=CompositeSimilarity)
+    threshold: float = 0.75
+
+    def score(self, left: object, right: object) -> float:
+        return self.measure.similarity(left, right)
+
+    def similar(self, left: object, right: object) -> bool:
+        """The boolean ``left ≈ right`` decision."""
+        return self.score(left, right) >= self.threshold
+
+    def __call__(self, left: object, right: object) -> bool:
+        return self.similar(left, right)

@@ -1,0 +1,34 @@
+"""Length similarity.
+
+The second component of the paper's similarity operator (Section 5): "The
+Length function computes the similarity of the length of two strings by
+dividing the length of the smaller string by the length of the larger
+string."  Its role in the composite operator is to penalise matches where a
+short string locally aligns perfectly inside a much longer one (e.g. ``"It"``
+inside ``"It Follows"``), which pure local alignment would score 1.0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LengthSimilarity"]
+
+
+@dataclass(frozen=True)
+class LengthSimilarity:
+    """Ratio of the shorter string's length to the longer string's length."""
+
+    def similarity(self, left: str, right: str) -> float:
+        if left is None or right is None:
+            return 0.0
+        left, right = str(left), str(right)
+        if not left and not right:
+            return 1.0
+        if not left or not right:
+            return 0.0
+        shorter, longer = sorted((len(left), len(right)))
+        return shorter / longer
+
+    def __call__(self, left: str, right: str) -> float:
+        return self.similarity(left, right)

@@ -1,0 +1,83 @@
+"""Q-gram blocking for similarity search.
+
+Computing Smith–Waterman–Gotoh between every pair of values in two large
+columns is quadratic and far too slow.  Like all practical entity-matching
+pipelines, we first *block*: candidate pairs must share at least one q-gram
+(or a minimum number of q-grams), and only candidates are scored with the
+expensive measure.  The paper pre-computes "the pairs of similar values"
+(Section 5); :class:`repro.similarity.index.SimilarityIndex` performs that
+precomputation on top of this blocker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["qgrams", "QGramBlocker"]
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> set[str]:
+    """Return the set of q-grams of *text*.
+
+    With ``pad=True`` the string is padded with ``q - 1`` sentinel characters
+    on each side so that prefixes/suffixes also produce grams — this keeps
+    very short strings blockable.
+    """
+    text = text.lower()
+    if pad:
+        padding = "#" * (q - 1)
+        text = f"{padding}{text}{padding}"
+    if len(text) < q:
+        return {text} if text else set()
+    return {text[i : i + q] for i in range(len(text) - q + 1)}
+
+
+@dataclass
+class QGramBlocker:
+    """Inverted q-gram index over a collection of values.
+
+    ``candidates(query)`` returns the indexed values sharing at least
+    ``min_shared`` q-grams with the query — a superset of the truly similar
+    values, to be re-ranked by the expensive similarity measure.
+    """
+
+    q: int = 3
+    min_shared: int = 1
+
+    def __post_init__(self) -> None:
+        self._index: dict[str, set[object]] = defaultdict(set)
+        self._values: set[object] = set()
+
+    # ------------------------------------------------------------------ #
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        self._values.add(value)
+        for gram in qgrams(str(value), self.q):
+            self._index[gram].add(value)
+
+    def add_all(self, values: Iterable[object]) -> None:
+        for value in values:
+            self.add(value)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._values
+
+    def values(self) -> Iterator[object]:
+        return iter(self._values)
+
+    # ------------------------------------------------------------------ #
+    def candidates(self, query: object) -> list[object]:
+        """Indexed values sharing at least ``min_shared`` q-grams with *query*."""
+        if query is None:
+            return []
+        counts: dict[object, int] = defaultdict(int)
+        for gram in qgrams(str(query), self.q):
+            for value in self._index.get(gram, ()):
+                counts[value] += 1
+        return [value for value, count in counts.items() if count >= self.min_shared]

@@ -1,0 +1,94 @@
+"""Smith–Waterman–Gotoh local-alignment similarity.
+
+The paper's similarity operator (Section 5) is "the average of the
+Smith-Waterman-Gotoh and the Length similarity functions".  Smith–Waterman
+finds the best *local* alignment between two strings; Gotoh's refinement uses
+affine gap penalties (opening a gap is more expensive than extending one),
+which is what makes the measure robust to the kind of heterogeneity seen in
+the paper's datasets — ``"Star Wars: Episode IV - 1977"`` vs ``"Star Wars - IV"``
+share a long, well-aligned local region even though the full strings differ.
+
+The score is normalised to [0, 1] by dividing by the maximum achievable score
+(a perfect alignment of the shorter string).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SmithWatermanGotoh"]
+
+
+@dataclass(frozen=True)
+class SmithWatermanGotoh:
+    """Normalised Smith–Waterman–Gotoh similarity over strings.
+
+    Parameters
+    ----------
+    match_score:
+        Score for aligning two equal characters.
+    mismatch_score:
+        Score for aligning two different characters (typically negative).
+    gap_open:
+        Cost of opening a gap (negative).
+    gap_extend:
+        Cost of extending an existing gap (negative, smaller magnitude than
+        ``gap_open`` — this is Gotoh's affine-gap refinement).
+    case_sensitive:
+        When ``False`` (the default) both strings are lower-cased first,
+        which matches how the benchmark datasets' titles are compared.
+    """
+
+    match_score: float = 2.0
+    mismatch_score: float = -1.0
+    gap_open: float = -2.0
+    gap_extend: float = -0.5
+    case_sensitive: bool = False
+
+    def raw_score(self, left: str, right: str) -> float:
+        """Best local alignment score between *left* and *right* (>= 0)."""
+        if not self.case_sensitive:
+            left, right = left.lower(), right.lower()
+        if not left or not right:
+            return 0.0
+
+        len_left, len_right = len(left), len(right)
+        # Three Gotoh matrices, kept as rolling rows:
+        #   h[j]: best score of an alignment ending at (i, j)
+        #   e[j]: best score ending with a gap in `left`
+        #   f[j]: best score ending with a gap in `right`
+        neg_inf = float("-inf")
+        previous_h = [0.0] * (len_right + 1)
+        previous_e = [neg_inf] * (len_right + 1)
+        best = 0.0
+
+        for i in range(1, len_left + 1):
+            current_h = [0.0] * (len_right + 1)
+            current_e = [neg_inf] * (len_right + 1)
+            f_score = neg_inf
+            left_char = left[i - 1]
+            for j in range(1, len_right + 1):
+                substitution = self.match_score if left_char == right[j - 1] else self.mismatch_score
+                current_e[j] = max(previous_h[j] + self.gap_open, previous_e[j] + self.gap_extend)
+                f_score = max(current_h[j - 1] + self.gap_open, f_score + self.gap_extend)
+                score = max(0.0, previous_h[j - 1] + substitution, current_e[j], f_score)
+                current_h[j] = score
+                if score > best:
+                    best = score
+            previous_h, previous_e = current_h, current_e
+        return best
+
+    def similarity(self, left: str, right: str) -> float:
+        """Normalised similarity in [0, 1]."""
+        if left is None or right is None:
+            return 0.0
+        left, right = str(left), str(right)
+        if not left or not right:
+            return 0.0
+        max_score = self.match_score * min(len(left), len(right))
+        if max_score <= 0:
+            return 0.0
+        return min(1.0, self.raw_score(left, right) / max_score)
+
+    def __call__(self, left: str, right: str) -> float:
+        return self.similarity(left, right)

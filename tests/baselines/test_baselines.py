@@ -1,0 +1,97 @@
+"""Tests for the Castor-style baselines and the learner factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    CastorClean,
+    CastorExact,
+    CastorNoMD,
+    DLearnCFD,
+    DLearnRepaired,
+    make_learner,
+    resolve_entities,
+)
+from repro.core import DLearn
+
+
+class TestEntityResolution:
+    def test_resolution_unifies_md_columns(self, movie_problem):
+        resolved = resolve_entities(movie_problem, threshold=0.6)
+        bom_titles = {t.values[1] for t in resolved.relation("bom_movies")}
+        movie_titles = {t.values[1] for t in resolved.relation("movies")}
+        # The BOM titles were rewritten to their best IMDB match, so the two
+        # columns now overlap exactly.
+        assert bom_titles <= movie_titles
+        # The original database is untouched.
+        original_titles = {t.values[1] for t in movie_problem.database.relation("bom_movies")}
+        assert "Superbad (2007)" in original_titles
+
+    def test_resolution_without_mds_is_identity(self, movie_problem):
+        stripped = movie_problem.with_constraints(mds=[], cfds=[])
+        resolved = resolve_entities(stripped, threshold=0.6)
+        assert resolved.tuple_count() == movie_problem.database.tuple_count()
+
+
+class TestBaselineLearners:
+    def test_castor_nomd_stays_in_target_source(self, movie_problem, fast_config):
+        model = CastorNoMD(fast_config, target_source="imdb").fit(movie_problem)
+        for clause in model.clauses:
+            assert all(not lit.predicate.startswith("bom_") for lit in clause.body if lit.is_relation)
+            assert clause.is_repaired
+
+    def test_castor_exact_uses_no_repair_literals(self, movie_problem, fast_config):
+        model = CastorExact(fast_config).fit(movie_problem)
+        assert all(clause.is_repaired for clause in model.clauses)
+
+    def test_castor_clean_learns_over_resolved_database(self, movie_problem, fast_config):
+        model = CastorClean(fast_config).fit(movie_problem)
+        assert all(clause.is_repaired for clause in model.clauses)
+        # With resolved entities the clean learner separates the toy examples.
+        predictions = model.predict(movie_problem.examples.all())
+        labels = [e.positive for e in movie_problem.examples.all()]
+        assert sum(p == l for p, l in zip(predictions, labels)) >= 3
+
+    def test_dlearn_cfd_and_repaired_run_end_to_end(self, movie_problem, fast_config):
+        dirty = movie_problem.with_database(
+            movie_problem.database.with_rows({"mov2genres": [("m1", "horror")]})
+        )
+        for learner in (DLearnCFD(fast_config), DLearnRepaired(fast_config)):
+            model = learner.fit(dirty)
+            assert len(model.predict(dirty.examples.all())) == 4
+
+    def test_dlearn_beats_or_matches_nomd_on_toy_problem(self, movie_problem, fast_config):
+        from repro.evaluation import f1_score
+
+        labels = [e.positive for e in movie_problem.examples.all()]
+        dlearn_model = DLearn(fast_config.but(use_cfds=False)).fit(movie_problem)
+        nomd_model = CastorNoMD(fast_config, target_source="imdb").fit(movie_problem)
+        dlearn_f1 = f1_score(dlearn_model.predict(movie_problem.examples.all()), labels)
+        nomd_f1 = f1_score(nomd_model.predict(movie_problem.examples.all()), labels)
+        assert dlearn_f1 >= nomd_f1
+        assert dlearn_f1 == pytest.approx(1.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("dlearn", DLearn),
+            ("DLearn-CFD", DLearnCFD),
+            ("dlearn-repaired", DLearnRepaired),
+            ("castor-nomd", CastorNoMD),
+            ("castor-exact", CastorExact),
+            ("castor-clean", CastorClean),
+        ],
+    )
+    def test_known_names(self, name, expected_type):
+        assert isinstance(make_learner(name), expected_type)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_learner("unknown-system")
+
+    def test_target_source_is_threaded_through(self):
+        learner = make_learner("castor-nomd", target_source="imdb")
+        assert learner.target_source == "imdb"

@@ -1,0 +1,124 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, fully understood worlds: a toy movie database in
+the spirit of the paper's running example (Table 2), the constraints defined
+over it, and pre-built learning problems.  Most unit tests construct their
+own even smaller inputs; these fixtures serve the integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import ConditionalFunctionalDependency, MatchingDependency
+from repro.core import DLearnConfig, ExampleSet, LearningProblem
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
+from repro.similarity import SimilarityOperator
+
+
+@pytest.fixture
+def movie_schema() -> DatabaseSchema:
+    """The example movie schema of the paper's Table 2, split in two sources."""
+    string = AttributeType.STRING
+    integer = AttributeType.INTEGER
+    return DatabaseSchema.of(
+        RelationSchema.of("movies", [("id", string), ("title", string), ("year", integer)], source="imdb"),
+        RelationSchema.of("mov2genres", [("id", string), ("genre", string)], source="imdb"),
+        RelationSchema.of("mov2countries", [("id", string), ("country", string)], source="imdb"),
+        RelationSchema.of("mov2releasedate", [("id", string), ("month", string), ("year", integer)], source="imdb"),
+        RelationSchema.of("bom_movies", [("bomId", string), ("title", string)], source="bom"),
+        RelationSchema.of("bom_gross", [("bomId", string), ("gross", string)], source="bom"),
+    )
+
+
+@pytest.fixture
+def movie_database(movie_schema) -> DatabaseInstance:
+    """A tiny movie database with cross-source title heterogeneity."""
+    database = DatabaseInstance(movie_schema)
+    database.insert_many(
+        "movies",
+        [
+            ("m1", "Superbad", 2007),
+            ("m2", "Zoolander", 2001),
+            ("m3", "The Orphanage", 2007),
+            ("m4", "Midnight Harbor", 2007),
+        ],
+    )
+    database.insert_many(
+        "mov2genres",
+        [("m1", "comedy"), ("m2", "comedy"), ("m3", "drama"), ("m4", "comedy")],
+    )
+    database.insert_many(
+        "mov2countries",
+        [("m1", "USA"), ("m2", "USA"), ("m3", "Spain"), ("m4", "USA")],
+    )
+    database.insert_many(
+        "mov2releasedate",
+        [("m1", "August", 2007), ("m2", "September", 2001), ("m3", "May", 2007), ("m4", "May", 2007)],
+    )
+    database.insert_many(
+        "bom_movies",
+        [
+            ("b1", "Superbad (2007)"),
+            ("b2", "Zoolander (2001)"),
+            ("b3", "The Orphanage (2007)"),
+            ("b4", "Midnight Harbor (2007)"),
+        ],
+    )
+    database.insert_many(
+        "bom_gross",
+        [("b1", "high"), ("b2", "high"), ("b3", "low"), ("b4", "low")],
+    )
+    return database
+
+
+@pytest.fixture
+def title_md() -> MatchingDependency:
+    return MatchingDependency.simple("md_movie_titles", "movies", "title", "bom_movies", "title")
+
+
+@pytest.fixture
+def genre_cfd() -> ConditionalFunctionalDependency:
+    return ConditionalFunctionalDependency.fd("cfd_movie_genre", "mov2genres", ["id"], "genre")
+
+
+@pytest.fixture
+def movie_examples() -> ExampleSet:
+    """highGrossing(id): m1 and m2 gross high, m3 and m4 do not."""
+    return ExampleSet.of(positives=[("m1",), ("m2",)], negatives=[("m3",), ("m4",)])
+
+
+@pytest.fixture
+def movie_target() -> RelationSchema:
+    return RelationSchema.of("highGrossing", [("id", AttributeType.STRING)], source="imdb")
+
+
+@pytest.fixture
+def movie_problem(movie_database, movie_target, movie_examples, title_md, genre_cfd) -> LearningProblem:
+    return LearningProblem(
+        database=movie_database,
+        target=movie_target,
+        examples=movie_examples,
+        mds=[title_md],
+        cfds=[genre_cfd],
+        constant_attributes=frozenset(
+            {("mov2genres", "genre"), ("mov2countries", "country"), ("bom_gross", "gross"), ("mov2releasedate", "month")}
+        ),
+        similarity_operator=SimilarityOperator(threshold=0.6),
+    )
+
+
+@pytest.fixture
+def fast_config() -> DLearnConfig:
+    """A configuration small enough for unit/integration tests."""
+    return DLearnConfig(
+        iterations=3,
+        sample_size=8,
+        top_k_matches=2,
+        similarity_threshold=0.6,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=1,
+        min_clause_precision=0.5,
+        seed=0,
+    )

@@ -1,0 +1,141 @@
+"""Unit tests for conditional functional dependencies and their violations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    ConditionalFunctionalDependency,
+    InconsistentCFDsError,
+    WILDCARD,
+    check_consistency,
+    find_cfd_violations,
+    pattern_matches,
+    violation_rate,
+)
+from repro.db import DatabaseInstance, DatabaseSchema, RelationSchema
+from repro.db.schema import SchemaError
+
+CFD = ConditionalFunctionalDependency
+
+
+@pytest.fixture
+def locale_schema() -> DatabaseSchema:
+    return DatabaseSchema.of(RelationSchema.of("mov2locale", ["title", "language", "country"]))
+
+
+@pytest.fixture
+def locale_db(locale_schema) -> DatabaseInstance:
+    db = DatabaseInstance(locale_schema)
+    db.insert_many(
+        "mov2locale",
+        [
+            ("Bait", "English", "USA"),
+            ("Bait", "English", "Ireland"),
+            ("Roma", "Spanish", "Mexico"),
+            ("Roma", "Italian", "Italy"),
+        ],
+    )
+    return db
+
+
+def locale_cfd() -> CFD:
+    """The paper's φ1: (title, language → country, (-, English || -))."""
+    return CFD.of("phi1", "mov2locale", ["title", "language"], "country", {"language": "English"})
+
+
+class TestPatternMatching:
+    def test_wildcard_matches_anything(self):
+        assert pattern_matches("USA", WILDCARD)
+        assert pattern_matches(None, WILDCARD)
+
+    def test_constant_pattern(self):
+        assert pattern_matches("English", "English")
+        assert not pattern_matches("French", "English")
+
+    def test_wildcard_repr(self):
+        assert str(WILDCARD) == "-"
+
+
+class TestConstruction:
+    def test_fd_constructor_uses_wildcards(self):
+        cfd = CFD.fd("f", "r", ["a"], "b")
+        assert cfd.is_plain_fd
+        assert cfd.lhs_pattern == (WILDCARD,)
+
+    def test_of_constructor_places_pattern(self):
+        cfd = locale_cfd()
+        assert cfd.lhs_pattern == (WILDCARD, "English")
+        assert cfd.rhs_pattern is WILDCARD
+        assert not cfd.is_plain_fd
+
+    def test_lhs_required_and_rhs_disjoint(self):
+        with pytest.raises(ValueError):
+            CFD("bad", "r", (), "b")
+        with pytest.raises(ValueError):
+            CFD.fd("bad", "r", ["a", "b"], "b")
+
+    def test_pattern_length_must_match(self):
+        with pytest.raises(ValueError):
+            CFD("bad", "r", ("a", "b"), "c", ("x",), WILDCARD)
+
+    def test_validate_against_schema(self, locale_schema):
+        locale_cfd().validate(locale_schema)
+        with pytest.raises(SchemaError):
+            CFD.fd("bad", "mov2locale", ["missing"], "country").validate(locale_schema)
+
+    def test_str_rendering(self):
+        assert "English" in str(locale_cfd())
+
+
+class TestViolationDetection:
+    def test_paper_example_violation(self, locale_db):
+        violations = list(find_cfd_violations(locale_db, locale_cfd()))
+        assert len(violations) == 1
+        titles = {violations[0].first.values[0], violations[0].second.values[0]}
+        assert titles == {"Bait"}
+
+    def test_pattern_restricts_violations(self, locale_db):
+        # Roma rows differ in country but are not English, so φ1 does not apply.
+        violations = list(find_cfd_violations(locale_db, locale_cfd()))
+        assert all(v.first.values[1] == "English" for v in violations)
+
+    def test_plain_fd_sees_more_violations(self, locale_db):
+        plain = CFD.fd("fd", "mov2locale", ["title"], "country")
+        assert len(list(find_cfd_violations(locale_db, plain))) == 2
+
+    def test_satisfied_by(self, locale_db):
+        relation = locale_db.relation("mov2locale")
+        assert not locale_cfd().satisfied_by(relation.schema, relation)
+        clean = [t for t in relation if t.values[2] != "Ireland"]
+        assert locale_cfd().satisfied_by(relation.schema, clean)
+
+    def test_single_tuple_violates_constant_rhs_pattern(self, locale_db):
+        constant_rhs = CFD.of("phi2", "mov2locale", ["language"], "country", {"language": "English", "country": "USA"})
+        violations = list(find_cfd_violations(locale_db, constant_rhs))
+        assert any(v.first is v.second for v in violations)
+
+    def test_violation_rate(self, locale_db):
+        rate = violation_rate(locale_db, [locale_cfd()])
+        assert rate == pytest.approx(2 / 4)
+        assert violation_rate(locale_db, []) == 0.0
+
+
+class TestConsistency:
+    def test_consistent_set_passes(self):
+        check_consistency([CFD.fd("a", "r", ["x"], "y"), locale_cfd()])
+
+    def test_paper_inconsistent_pair_detected(self):
+        """(A → B, a1 || b1) and (B → A, b1 || a2) cannot both hold."""
+        first = CFD.of("c1", "r", ["A"], "B", {"A": "a1", "B": "b1"})
+        second = CFD.of("c2", "r", ["B"], "A", {"B": "b1", "A": "a2"})
+        with pytest.raises(InconsistentCFDsError):
+            check_consistency([first, second])
+
+    def test_cfds_over_different_relations_never_conflict(self):
+        first = CFD.of("c1", "r", ["A"], "B", {"A": "a1", "B": "b1"})
+        second = CFD.of("c2", "s", ["B"], "A", {"B": "b1", "A": "a2"})
+        check_consistency([first, second])
+
+    def test_empty_set_is_consistent(self):
+        check_consistency([])

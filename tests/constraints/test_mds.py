@@ -1,0 +1,111 @@
+"""Unit tests for matching dependencies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import MatchingDependency, find_md_matches
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
+from repro.db.schema import SchemaError
+
+
+@pytest.fixture
+def schema() -> DatabaseSchema:
+    return DatabaseSchema.of(
+        RelationSchema.of("movies", [("id", AttributeType.STRING), ("title", AttributeType.STRING), ("year", AttributeType.INTEGER)]),
+        RelationSchema.of("bom", [("title", AttributeType.STRING), ("gross", AttributeType.STRING)]),
+    )
+
+
+@pytest.fixture
+def database(schema) -> DatabaseInstance:
+    db = DatabaseInstance(schema)
+    db.insert_many("movies", [("m1", "Star Wars: Episode IV", 1977), ("m2", "Star Wars: Episode III", 2005)])
+    db.insert_many("bom", [("Star Wars", "high"), ("Alien", "high")])
+    return db
+
+
+def title_md() -> MatchingDependency:
+    return MatchingDependency.simple("md1", "movies", "title", "bom", "title")
+
+
+class TestConstruction:
+    def test_simple_md(self):
+        md = title_md()
+        assert md.premises[0].left_attribute == "title"
+        assert md.identified.right_attribute == "title"
+        assert "movies[title]" in str(md)
+
+    def test_of_with_separate_identified_pair(self):
+        md = MatchingDependency.of("md2", "movies", "bom", [("title", "title")], identified=("id", "gross"))
+        assert md.identified.left_attribute == "id"
+
+    def test_requires_premises(self):
+        with pytest.raises(ValueError):
+            MatchingDependency("bad", "movies", "bom", (), None)
+
+    def test_rejects_same_relation_on_both_sides(self):
+        with pytest.raises(ValueError):
+            MatchingDependency.simple("bad", "movies", "title", "movies", "title")
+
+
+class TestValidation:
+    def test_valid_md_passes(self, schema):
+        title_md().validate(schema)
+
+    def test_unknown_attribute_rejected(self, schema):
+        md = MatchingDependency.simple("bad", "movies", "missing", "bom", "title")
+        with pytest.raises(SchemaError):
+            md.validate(schema)
+
+    def test_incomparable_attributes_rejected(self, schema):
+        md = MatchingDependency.simple("bad", "movies", "year", "bom", "title")
+        with pytest.raises(SchemaError):
+            md.validate(schema)
+
+    def test_target_relation_side_is_not_validated(self, schema):
+        md = MatchingDependency.simple("t", "highGrossing", "title", "bom", "title")
+        md.validate(schema, target_relation="highGrossing")
+
+
+class TestOrientation:
+    def test_involves_and_other_relation(self):
+        md = title_md()
+        assert md.involves("movies") and md.involves("bom")
+        assert not md.involves("other")
+        assert md.other_relation("movies") == "bom"
+        with pytest.raises(ValueError):
+            md.other_relation("other")
+
+    def test_oriented_premises_and_identified(self):
+        md = title_md()
+        assert md.oriented_premises("movies") == [("title", "title")]
+        assert md.oriented_identified("bom") == ("title", "title")
+        with pytest.raises(ValueError):
+            md.oriented_premises("other")
+
+
+class TestSemantics:
+    def test_premises_hold_with_similarity(self, schema, database):
+        md = title_md()
+        movie = database.relation("movies").tuple_at(0)
+        bom = database.relation("bom").tuple_at(0)
+        similar = lambda a, b: "Star Wars" in str(a) and "Star Wars" in str(b)
+        assert md.premises_hold(schema, movie, bom, similar)
+        assert not md.premises_hold(schema, movie, bom, lambda a, b: False)
+
+    def test_identified_values(self, schema, database):
+        md = title_md()
+        movie = database.relation("movies").tuple_at(0)
+        bom = database.relation("bom").tuple_at(0)
+        assert md.identified_values(schema, movie, bom) == ("Star Wars: Episode IV", "Star Wars")
+
+    def test_find_md_matches_reports_disagreeing_pairs(self, database):
+        md = title_md()
+        similar = lambda a, b: str(b) in str(a) or str(a) in str(b)
+        matches = list(find_md_matches(database, md, similar))
+        # 'Star Wars' matches both episodes; 'Alien' matches nothing.
+        assert len(matches) == 2
+        assert all(match.needs_enforcement for match in matches)
+        values = {match.right_value for match in matches}
+        assert values == {"Star Wars"}

@@ -1,0 +1,137 @@
+"""Unit tests for repair generation: MD enforcement, stable instances, minimal CFD repairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import (
+    ConditionalFunctionalDependency,
+    MatchingDependency,
+    enforce_md,
+    find_md_matches,
+    find_cfd_violations,
+    is_stable,
+    minimal_cfd_repair,
+    repairs_of,
+    stable_instances,
+)
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
+
+CFD = ConditionalFunctionalDependency
+
+
+def star_wars_db() -> tuple[DatabaseInstance, MatchingDependency]:
+    """The paper's Example 2.3: 'Star Wars' matches two different episodes."""
+    schema = DatabaseSchema.of(
+        RelationSchema.of("movies", [("id", AttributeType.STRING), ("title", AttributeType.STRING), ("year", AttributeType.INTEGER)]),
+        RelationSchema.of("highBudgetMovies", [("title", AttributeType.STRING)]),
+    )
+    db = DatabaseInstance(schema)
+    db.insert_many(
+        "movies",
+        [("10", "Star Wars: Episode IV - 1977", 1977), ("40", "Star Wars: Episode III - 2005", 2005)],
+    )
+    db.insert("highBudgetMovies", ("Star Wars",))
+    md = MatchingDependency.simple("md1", "movies", "title", "highBudgetMovies", "title")
+    return db, md
+
+
+def contains_similarity(a: object, b: object) -> bool:
+    left, right = str(a), str(b)
+    return left != right and (left.startswith(right) or right.startswith(left))
+
+
+class TestEnforceMD:
+    def test_enforcement_unifies_both_values_globally(self):
+        db, md = star_wars_db()
+        match = next(iter(find_md_matches(db, md, contains_similarity)))
+        repaired = enforce_md(db, match)
+        assert repaired.value_frequency(match.left_value) == 0
+        assert repaired.value_frequency(match.right_value) == 0
+        # Both occurrences now carry the same fresh value.
+        unified = [t for t in repaired.all_tuples() if any("<match:" in str(v) for v in t.values)]
+        assert len(unified) == 2
+
+    def test_enforcing_a_non_disagreeing_match_is_identity(self):
+        db, md = star_wars_db()
+        match = next(iter(find_md_matches(db, md, contains_similarity)))
+        already_equal = type(match)(md, match.left_tuple, match.right_tuple, "same", "same")
+        assert enforce_md(db, already_equal) is db
+
+
+class TestStableInstances:
+    def test_example_2_3_has_two_stable_instances(self):
+        db, md = star_wars_db()
+        stables = list(stable_instances(db, [md], contains_similarity))
+        assert len(stables) == 2
+        for stable in stables:
+            assert is_stable(stable, [md], contains_similarity)
+
+    def test_original_instance_is_not_stable(self):
+        db, md = star_wars_db()
+        assert not is_stable(db, [md], contains_similarity)
+
+    def test_no_mds_means_already_stable(self):
+        db, _ = star_wars_db()
+        stables = list(stable_instances(db, [], contains_similarity))
+        assert len(stables) == 1
+        assert stables[0].tuple_count() == db.tuple_count()
+
+    def test_limit_bounds_enumeration(self):
+        db, md = star_wars_db()
+        assert len(list(stable_instances(db, [md], contains_similarity, limit=1))) == 1
+
+
+class TestMinimalCFDRepair:
+    def _violating_db(self) -> tuple[DatabaseInstance, CFD]:
+        schema = DatabaseSchema.of(RelationSchema.of("ratings", ["movieId", "rating"]))
+        db = DatabaseInstance(schema)
+        db.insert_many(
+            "ratings",
+            [("m1", "R"), ("m1", "R"), ("m1", "PG"), ("m2", "PG-13"), ("m3", "G"), ("m3", "R")],
+        )
+        return db, CFD.fd("cfd_rating", "ratings", ["movieId"], "rating")
+
+    def test_repair_removes_all_violations(self):
+        db, cfd = self._violating_db()
+        repaired = minimal_cfd_repair(db, [cfd])
+        assert not list(find_cfd_violations(repaired, cfd))
+        # Value modification never adds tuples; unified duplicates collapse
+        # under the engine's set semantics, so the count can only shrink.
+        assert repaired.tuple_count() <= db.tuple_count()
+        assert {t.values[0] for t in repaired.relation("ratings")} == {"m1", "m2", "m3"}
+
+    def test_majority_value_wins(self):
+        db, cfd = self._violating_db()
+        repaired = minimal_cfd_repair(db, [cfd])
+        m1_ratings = {t.values[1] for t in repaired.relation("ratings").select_equal("movieId", "m1")}
+        assert m1_ratings == {"R"}
+
+    def test_untouched_groups_stay_identical(self):
+        db, cfd = self._violating_db()
+        repaired = minimal_cfd_repair(db, [cfd])
+        assert {t.values[1] for t in repaired.relation("ratings").select_equal("movieId", "m2")} == {"PG-13"}
+
+    def test_constant_rhs_pattern_used_when_no_valid_value(self):
+        schema = DatabaseSchema.of(RelationSchema.of("locale", ["title", "country"]))
+        db = DatabaseInstance(schema)
+        db.insert_many("locale", [("Bait", "Ireland"), ("Bait", "Spain")])
+        cfd = CFD.of("c", "locale", ["title"], "country", {"country": "USA"})
+        repaired = minimal_cfd_repair(db, [cfd])
+        assert {t.values[1] for t in repaired.relation("locale")} == {"USA"}
+
+    def test_no_cfds_is_identity_copy(self):
+        db, _ = self._violating_db()
+        repaired = minimal_cfd_repair(db, [])
+        assert repaired.tuple_count() == db.tuple_count()
+
+
+class TestRepairsOf:
+    def test_repairs_are_stable_and_satisfy_cfds(self):
+        db, md = star_wars_db()
+        cfd = CFD.fd("cfd_year", "movies", ["id"], "year")
+        repairs = list(repairs_of(db, [md], [cfd], contains_similarity))
+        assert 1 <= len(repairs) <= 2
+        for repair in repairs:
+            assert is_stable(repair, [md], contains_similarity)
+            assert not list(find_cfd_violations(repair, cfd))

