@@ -71,6 +71,17 @@ class DLearnConfig:
         training positives; removing them yields the concise definitions the
         paper reports and improves recall on held-out examples.  The
         ablation benchmark switches this off to measure its effect.
+    n_jobs:
+        Number of worker threads :meth:`repro.core.coverage.CoverageEngine.batch_covers`
+        (and with it ``covered_counts`` and batched prediction) fans the
+        per-example subsumption checks out to.  ``1`` — the default — keeps
+        every check on the calling thread.  Coverage checks are independent
+        per example, so the fan-out is safe (each worker gets its own
+        subsumption checker); how much wall-clock it buys depends on how much
+        of the subsumption work runs outside the GIL, so treat values above 1
+        as an opt-in experiment rather than a guaranteed speed-up.  The
+        clause-level caching of the batched path is always on and independent
+        of this knob.
     seed:
         Seed for every random choice (sampling of relevant tuples, of
         ``E+_s`` seeds and of training folds), making runs reproducible.
@@ -102,6 +113,7 @@ class DLearnConfig:
     max_cfd_expansions: int = 64
     max_repair_groups_per_clause: int = 200
     reduce_clauses: bool = True
+    n_jobs: int = 1
     seed: int = 0
     use_mds: bool = True
     use_cfds: bool = True
@@ -121,6 +133,8 @@ class DLearnConfig:
             raise ValueError("max_clauses must be >= 1")
         if not 0.0 <= self.min_clause_precision <= 1.0:
             raise ValueError("min_clause_precision must be in [0, 1]")
+        if self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
 
     def but(self, **changes) -> "DLearnConfig":
         """Return a copy with the given fields changed (sweep helper)."""

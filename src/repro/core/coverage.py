@@ -1,4 +1,4 @@
-"""Coverage testing over heterogeneous data (Section 4.3).
+"""Coverage testing over heterogeneous data (Section 4.3), batched and cached.
 
 Instead of evaluating a clause as a (very long) join over the database,
 DLearn checks coverage by θ-subsumption against the example's *ground bottom
@@ -20,17 +20,35 @@ clause*:
   clause covers ``e⁻`` in some repair): same fast path, but the CFD-variant
   check is existential on both sides (Proposition 4.10).
 
-Ground bottom clauses are cached per example because the same examples are
-tested against many candidate clauses during generalisation.
+Every step of that pipeline is a pure function of the participating clauses,
+and learning evaluates the same clauses against the same examples over and
+over: the ground bottom clause of an example is tested against every
+candidate of every generalisation round, and a candidate clause is tested
+against every example.  The engine therefore caches *both* sides:
+
+* ground bottom clauses are built and prepared once per example (keyed on the
+  example's values — the clause does not depend on the label);
+* the general side is prepared once per clause
+  (:class:`repro.logic.subsumption.PreparedGeneral`), and the MD projection
+  and CFD-variant expansion of any clause are memoised in per-engine LRU
+  caches.
+
+:meth:`CoverageEngine.batch_covers` evaluates one clause against many
+examples through those caches, optionally fanning the per-example checks out
+across a thread pool (``DLearnConfig.n_jobs``);
+:meth:`CoverageEngine.covers_serial` keeps the original one-call-at-a-time
+pipeline as an uncached reference implementation for tests and benchmarks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..logic.clauses import HornClause
-from ..logic.subsumption import PreparedClause, SubsumptionChecker
+from ..logic.subsumption import PreparedClause, PreparedGeneral, SubsumptionChecker
 from .bottom_clause import BottomClauseBuilder
 from .config import DLearnConfig
 from .problem import Example
@@ -39,6 +57,50 @@ from .repair_literals import repaired_clauses
 __all__ = ["CoverageEngine"]
 
 _CFD_PREFIX = "cfd:"
+
+#: Size of the per-engine LRU caches over general-side clause computations
+#: (prepared candidate clauses, MD projections, CFD-variant expansions).  One
+#: learning run touches at most a few hundred distinct candidates.
+_CLAUSE_CACHE_SIZE = 1024
+
+#: Size of the prepared-specific cache.  Sized separately because it also
+#: holds the per-example ground MD projections and up to
+#: ``max_cfd_expansions`` prepared CFD variants per ground clause — with the
+#: default expansion cap of 64 this accommodates ~125 examples' worth of
+#: variants before eviction.
+_SPECIFIC_CACHE_SIZE = 8192
+
+
+def _md_projection(clause: HornClause) -> HornClause:
+    """Drop CFD repair literals and the non-repair literals they are connected to.
+
+    What remains is the ``C^{md}`` / ``G^{md}`` clause of Section 4.3: all
+    literals whose connected repair literals (if any) correspond to MDs.
+    """
+    cfd_repairs = {
+        literal
+        for literal in clause.repair_literals
+        if literal.provenance and literal.provenance.startswith(_CFD_PREFIX)
+    }
+    if not cfd_repairs:
+        return clause
+    keep = []
+    for literal in clause.body:
+        if literal in cfd_repairs:
+            continue
+        if not literal.is_repair:
+            connected = clause.repair_literals_connected_to(literal)
+            if connected & cfd_repairs:
+                continue
+        keep.append(literal)
+    return HornClause(clause.head, tuple(keep)).prune_dangling_restrictions()
+
+
+def _has_cfd_repairs(clause: HornClause) -> bool:
+    return any(
+        literal.provenance and literal.provenance.startswith(_CFD_PREFIX)
+        for literal in clause.repair_literals
+    )
 
 
 class CoverageEngine:
@@ -53,14 +115,28 @@ class CoverageEngine:
         self.builder = builder
         self.config = config
         self.checker = checker or SubsumptionChecker()
-        self._ground_cache: dict[tuple[tuple[object, ...], bool], PreparedClause] = {}
+        self._ground_cache: dict[tuple[object, ...], PreparedClause] = {}
+        self._thread_state = threading.local()
+        # Pure per-clause computations, memoised for the engine's lifetime.
+        # ``lru_cache`` is thread-safe, which is what allows ``batch_covers``
+        # to fan example checks out across a worker pool.
+        self._prepare_general = lru_cache(maxsize=_CLAUSE_CACHE_SIZE)(self.checker.prepare_general)
+        self._prepare_specific = lru_cache(maxsize=_SPECIFIC_CACHE_SIZE)(self.checker.prepare)
+        self._md_projection_of = lru_cache(maxsize=_CLAUSE_CACHE_SIZE)(_md_projection)
+        self._cfd_variants_of = lru_cache(maxsize=_CLAUSE_CACHE_SIZE)(self._expand_cfd_variants)
 
     # ------------------------------------------------------------------ #
     # ground bottom clauses
     # ------------------------------------------------------------------ #
     def prepared_ground(self, example: Example) -> PreparedClause:
-        """The example's ground bottom clause, pre-processed for repeated subsumption tests."""
-        key = (example.values, example.positive)
+        """The example's ground bottom clause, pre-processed for repeated subsumption tests.
+
+        Keyed on the example's *values* only: the ground bottom clause is
+        built from the tuples reachable from those values, so an example that
+        appears with both labels (e.g. in noisy-label experiments) shares one
+        prepared clause.
+        """
+        key = example.values
         if key not in self._ground_cache:
             self._ground_cache[key] = self.checker.prepare(self.builder.build(example, ground=True))
         return self._ground_cache[key]
@@ -70,48 +146,76 @@ class CoverageEngine:
 
     def clear_cache(self) -> None:
         self._ground_cache.clear()
+        self._prepare_general.cache_clear()
+        self._prepare_specific.cache_clear()
+        self._md_projection_of.cache_clear()
+        self._cfd_variants_of.cache_clear()
 
     # ------------------------------------------------------------------ #
     # clause-level coverage
     # ------------------------------------------------------------------ #
-    def covers(self, clause: HornClause, example: Example) -> bool:
+    def covers(self, clause: HornClause | PreparedGeneral, example: Example) -> bool:
         """Coverage of *example* by *clause* under the label-appropriate semantics."""
         ground = self.prepared_ground(example)
-        if example.positive:
-            return self.covers_ground_positive(clause, ground)
-        return self.covers_ground_negative(clause, ground)
+        return self._covers_ground(self.checker, self._as_general(clause), ground, positive=example.positive)
 
-    def covers_ground_positive(self, clause: HornClause, ground: HornClause | PreparedClause) -> bool:
+    def covers_ground_positive(
+        self, clause: HornClause | PreparedGeneral, ground: HornClause | PreparedClause
+    ) -> bool:
         """Definition 3.4 via the Section 4.3 procedure."""
-        if self.checker.subsumes(clause, ground).subsumes:
-            return True
-        ground_clause = ground.clause if isinstance(ground, PreparedClause) else ground
-        clause_has_cfd = self._has_cfd_repairs(clause)
-        ground_has_cfd = self._has_cfd_repairs(ground_clause)
-        if not clause_has_cfd and not ground_has_cfd:
-            return False
-        clause_md = self._md_projection(clause)
-        ground_md = self._md_projection(ground_clause)
-        if not self.checker.subsumes(clause_md, ground_md).subsumes:
-            return False
-        clause_variants = self._cfd_variants(clause)
-        ground_variants = self._cfd_variants(ground_clause)
-        return all(
-            any(self.checker.subsumes(cv, gv).subsumes for gv in ground_variants) for cv in clause_variants
-        )
+        return self._covers_ground(self.checker, self._as_general(clause), self._as_specific(ground), positive=True)
 
-    def covers_ground_negative(self, clause: HornClause, ground: HornClause | PreparedClause) -> bool:
+    def covers_ground_negative(
+        self, clause: HornClause | PreparedGeneral, ground: HornClause | PreparedClause
+    ) -> bool:
         """Definition 3.6 / Proposition 4.10."""
-        if self.checker.subsumes(clause, ground).subsumes:
-            return True
-        ground_clause = ground.clause if isinstance(ground, PreparedClause) else ground
-        if not (self._has_cfd_repairs(clause) or self._has_cfd_repairs(ground_clause)):
-            return False
-        clause_variants = self._cfd_variants(clause)
-        ground_variants = self._cfd_variants(ground_clause)
-        return any(
-            any(self.checker.subsumes(cv, gv).subsumes for gv in ground_variants) for cv in clause_variants
-        )
+        return self._covers_ground(self.checker, self._as_general(clause), self._as_specific(ground), positive=False)
+
+    # ------------------------------------------------------------------ #
+    # batched evaluation
+    # ------------------------------------------------------------------ #
+    def batch_covers(self, clause: HornClause | PreparedGeneral, examples: Sequence[Example]) -> list[bool]:
+        """Coverage verdicts of *clause* for every example, preparing the clause once.
+
+        The general side of the subsumption pipeline (structural split, MD
+        projection, CFD-variant expansion) is derived a single time and
+        reused for every example; ground bottom clauses come from the
+        per-example cache.  With ``config.n_jobs > 1`` the per-example checks
+        run on a thread pool — every worker gets its own
+        :class:`SubsumptionChecker` because the step-budget counter is
+        per-instance state.
+        """
+        examples = list(examples)
+        if not examples:
+            return []
+        general = self._as_general(clause)
+        # Ground clauses are built serially: the bottom-clause builder shares
+        # a sampler and caches across examples and is not thread-safe.
+        grounds = [self.prepared_ground(example) for example in examples]
+        jobs = self._effective_jobs(len(examples))
+        if jobs <= 1:
+            return [
+                self._covers_ground(self.checker, general, ground, positive=example.positive)
+                for example, ground in zip(examples, grounds)
+            ]
+
+        def verdict(pair: tuple[Example, PreparedClause]) -> bool:
+            example, ground = pair
+            return self._covers_ground(self._thread_checker(), general, ground, positive=example.positive)
+
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(verdict, zip(examples, grounds)))
+
+    def covered_counts(
+        self,
+        clause: HornClause | PreparedGeneral,
+        positives: Sequence[Example],
+        negatives: Sequence[Example],
+    ) -> tuple[int, int]:
+        """Covered positive/negative counts through one batched evaluation."""
+        flags = self.batch_covers(clause, list(positives) + list(negatives))
+        split = len(positives)
+        return sum(flags[:split]), sum(flags[split:])
 
     # ------------------------------------------------------------------ #
     # definition-level coverage and counting
@@ -123,51 +227,132 @@ class CoverageEngine:
     def predicts_positive(self, clauses: Iterable[HornClause], example: Example) -> bool:
         """Classification rule used at test time: the positive-coverage semantics."""
         ground = self.prepared_ground(example)
-        return any(self.covers_ground_positive(clause, ground) for clause in clauses)
+        return any(
+            self._covers_ground(self.checker, self._as_general(clause), ground, positive=True)
+            for clause in clauses
+        )
 
-    def covered_counts(
+    def batch_predicts_positive(
+        self, clauses: Sequence[HornClause | PreparedGeneral], examples: Sequence[Example]
+    ) -> list[bool]:
+        """Classify many examples against a whole definition, preparing every clause once."""
+        prepared_clauses = [self._as_general(clause) for clause in clauses]
+        examples = list(examples)
+        grounds = [self.prepared_ground(example) for example in examples]
+        jobs = self._effective_jobs(len(examples))
+
+        def classify(checker: SubsumptionChecker, ground: PreparedClause) -> bool:
+            return any(
+                self._covers_ground(checker, clause, ground, positive=True) for clause in prepared_clauses
+            )
+
+        if jobs <= 1:
+            return [classify(self.checker, ground) for ground in grounds]
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            return list(pool.map(lambda ground: classify(self._thread_checker(), ground), grounds))
+
+    # ------------------------------------------------------------------ #
+    # serial reference path (pre-batching behaviour)
+    # ------------------------------------------------------------------ #
+    def covers_serial(self, clause: HornClause, example: Example) -> bool:
+        """Reference implementation of :meth:`covers` without clause-level caching.
+
+        Re-derives the general side's split, MD projection and CFD variants on
+        every call (ground bottom clauses are still cached per example, as
+        they always were).  Kept as the ground truth the batched path is
+        validated against in tests and measured against in
+        ``benchmarks/bench_coverage_batch.py``.
+        """
+        checker = self.checker
+        ground = self.prepared_ground(example)
+        if checker.subsumes(clause, ground).subsumes:
+            return True
+        ground_clause = ground.clause
+        clause_has_cfd = _has_cfd_repairs(clause)
+        ground_has_cfd = _has_cfd_repairs(ground_clause)
+        if not clause_has_cfd and not ground_has_cfd:
+            return False
+        if example.positive:
+            if not checker.subsumes(_md_projection(clause), _md_projection(ground_clause)).subsumes:
+                return False
+        clause_variants = self._expand_cfd_variants(clause)
+        ground_variants = self._expand_cfd_variants(ground_clause)
+        quantifier = all if example.positive else any
+        return quantifier(
+            any(checker.subsumes(cv, gv).subsumes for gv in ground_variants) for cv in clause_variants
+        )
+
+    def covered_counts_serial(
         self, clause: HornClause, positives: Sequence[Example], negatives: Sequence[Example]
     ) -> tuple[int, int]:
-        positives_covered = sum(1 for example in positives if self.covers(clause, example))
-        negatives_covered = sum(1 for example in negatives if self.covers(clause, example))
+        """Serial counterpart of :meth:`covered_counts` (see :meth:`covers_serial`)."""
+        positives_covered = sum(1 for example in positives if self.covers_serial(clause, example))
+        negatives_covered = sum(1 for example in negatives if self.covers_serial(clause, example))
         return positives_covered, negatives_covered
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _has_cfd_repairs(clause: HornClause) -> bool:
-        return any(
-            literal.provenance and literal.provenance.startswith(_CFD_PREFIX)
-            for literal in clause.repair_literals
-        )
+    def _covers_ground(
+        self,
+        checker: SubsumptionChecker,
+        general: PreparedGeneral,
+        ground: PreparedClause,
+        *,
+        positive: bool,
+    ) -> bool:
+        """The Section 4.3 pipeline over prepared clause forms.
 
-    def _cfd_variants(self, clause: HornClause) -> list[HornClause]:
-        return repaired_clauses(
-            clause, only_provenance_prefix=_CFD_PREFIX, max_results=self.config.max_cfd_expansions
-        )
-
-    @staticmethod
-    def _md_projection(clause: HornClause) -> HornClause:
-        """Drop CFD repair literals and the non-repair literals they are connected to.
-
-        What remains is the ``C^{md}`` / ``G^{md}`` clause of Section 4.3: all
-        literals whose connected repair literals (if any) correspond to MDs.
+        *checker* is passed explicitly so worker threads can substitute their
+        own instance; every clause-level derivation goes through the engine's
+        LRU caches.
         """
-        cfd_repairs = {
-            literal
-            for literal in clause.repair_literals
-            if literal.provenance and literal.provenance.startswith(_CFD_PREFIX)
-        }
-        if not cfd_repairs:
-            return clause
-        keep = []
-        for literal in clause.body:
-            if literal in cfd_repairs:
-                continue
-            if not literal.is_repair:
-                connected = clause.repair_literals_connected_to(literal)
-                if connected & cfd_repairs:
-                    continue
-            keep.append(literal)
-        return HornClause(clause.head, tuple(keep)).prune_dangling_restrictions()
+        if checker.subsumes(general, ground).subsumes:
+            return True
+        clause = general.clause
+        ground_clause = ground.clause
+        if not _has_cfd_repairs(clause) and not _has_cfd_repairs(ground_clause):
+            return False
+        if positive:
+            clause_md = self._prepare_general(self._md_projection_of(clause))
+            ground_md = self._prepare_specific(self._md_projection_of(ground_clause))
+            if not checker.subsumes(clause_md, ground_md).subsumes:
+                return False
+        clause_variants = [self._prepare_general(v) for v in self._cfd_variants_of(clause)]
+        ground_variants = [self._prepare_specific(v) for v in self._cfd_variants_of(ground_clause)]
+        quantifier = all if positive else any
+        return quantifier(
+            any(checker.subsumes(cv, gv).subsumes for gv in ground_variants) for cv in clause_variants
+        )
+
+    def _as_general(self, clause: HornClause | PreparedGeneral) -> PreparedGeneral:
+        return clause if isinstance(clause, PreparedGeneral) else self._prepare_general(clause)
+
+    def _as_specific(self, ground: HornClause | PreparedClause) -> PreparedClause:
+        return ground if isinstance(ground, PreparedClause) else self._prepare_specific(ground)
+
+    def _expand_cfd_variants(self, clause: HornClause) -> tuple[HornClause, ...]:
+        return tuple(
+            repaired_clauses(
+                clause, only_provenance_prefix=_CFD_PREFIX, max_results=self.config.max_cfd_expansions
+            )
+        )
+
+    def _effective_jobs(self, n_examples: int) -> int:
+        return max(1, min(self.config.n_jobs, n_examples))
+
+    def _thread_checker(self) -> SubsumptionChecker:
+        """Per-thread checker clone for pool workers.
+
+        ``SubsumptionChecker`` keeps its step-budget counter on the instance,
+        so concurrent searches must not share one checker object.
+        """
+        checker = getattr(self._thread_state, "checker", None)
+        if checker is None:
+            checker = SubsumptionChecker(
+                respect_repair_connectivity=self.checker.respect_repair_connectivity,
+                condition_subset=self.checker.condition_subset,
+                max_steps=self.checker.max_steps,
+            )
+            self._thread_state.checker = checker
+        return checker

@@ -70,11 +70,16 @@ class LearnedModel:
     # prediction
     # ------------------------------------------------------------------ #
     def predict(self, examples: Sequence[Example]) -> list[bool]:
-        """Classify *examples*: ``True`` when the learned definition covers the tuple."""
+        """Classify *examples*: ``True`` when the learned definition covers the tuple.
+
+        Runs through the batched coverage API: every clause of the definition
+        is prepared once and reused across all examples (and the fan-out
+        honours ``config.n_jobs``).
+        """
         if not self.definition:
             return [False for _ in examples]
         engine = self._engine_for(examples)
-        return [engine.predicts_positive(self.definition.clauses, example) for example in examples]
+        return engine.batch_predicts_positive(self.definition.clauses, examples)
 
     def _engine_for(self, examples: Sequence[Example]) -> CoverageEngine:
         evaluation_problem = self.problem.with_examples(
@@ -132,7 +137,8 @@ class DLearn:
             if learned.stats.satisfies_criterion(config):
                 definition.add(learned.clause)
                 clause_stats.append(learned.stats)
-                remaining = [example for example in uncovered if not engine.covers(learned.clause, example)]
+                covered_flags = engine.batch_covers(learned.clause, uncovered)
+                remaining = [example for example, covered in zip(uncovered, covered_flags) if not covered]
                 if len(remaining) == len(uncovered):
                     # Safety: the clause must cover its seed (Proposition 4.3);
                     # drop the seed explicitly if coverage testing disagrees.

@@ -97,7 +97,8 @@ class Generalizer:
         )
 
         for _ in range(self.config.max_generalization_rounds):
-            uncovered = [example for example in positives if not self.engine.covers(current, example)]
+            covered_flags = self.engine.batch_covers(current, positives)
+            uncovered = [example for example, covered in zip(positives, covered_flags) if not covered]
             pool = uncovered if uncovered else list(positives)
             seeds = self.sampler.sample(pool, self.config.generalization_sample)
             if not seeds:
@@ -142,7 +143,7 @@ class Generalizer:
         discarded before the clause's core join path is ever considered.
         """
         baseline = {
-            index for index, example in enumerate(negatives) if self.engine.covers(clause, example)
+            index for index, covered in enumerate(self.engine.batch_covers(clause, negatives)) if covered
         }
         head_variables = clause.head.argument_variables()
         current = clause
@@ -159,7 +160,9 @@ class Generalizer:
             if not candidate.body:
                 continue
             covered = {
-                index for index, example in enumerate(negatives) if self.engine.covers(candidate, example)
+                index
+                for index, flag in enumerate(self.engine.batch_covers(candidate, negatives))
+                if flag
             }
             if covered <= baseline:
                 current = candidate

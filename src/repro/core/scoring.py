@@ -63,7 +63,11 @@ def score_clause(
     positives: Sequence[Example],
     negatives: Sequence[Example],
 ) -> ClauseStats:
-    """Compute the coverage statistics of *clause* over the given examples."""
+    """Compute the coverage statistics of *clause* over the given examples.
+
+    Goes through :meth:`CoverageEngine.covered_counts`, i.e. one batched
+    evaluation that prepares the clause once for all examples.
+    """
     positives_covered, negatives_covered = engine.covered_counts(clause, positives, negatives)
     return ClauseStats(
         positives_covered=positives_covered,

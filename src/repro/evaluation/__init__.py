@@ -1,6 +1,6 @@
 """Evaluation harness: metrics, cross-validation, experiments and reporting."""
 
-from .cross_validation import Fold, stratified_folds, train_test_split
+from .cross_validation import Fold, evaluate_on_split, stratified_folds, train_test_split
 from .experiments import (
     EvaluationResult,
     ExperimentRow,
@@ -24,6 +24,7 @@ __all__ = [
     "Stopwatch",
     "confusion",
     "evaluate_learner",
+    "evaluate_on_split",
     "f1_score",
     "format_rows",
     "format_series",

@@ -4,17 +4,28 @@ The paper performs 5-fold cross-validation over every dataset and reports the
 average F1-score and learning time (Section 6.1.3).  Folds are stratified:
 positives and negatives are split independently so that every fold keeps the
 dataset's class ratio.
+
+:func:`evaluate_on_split` is the single train-then-test step shared by the
+cross-validation loop and the scalability experiments; test-set
+classification goes through the batched coverage API
+(:meth:`repro.core.dlearn.LearnedModel.predict`), which prepares each learned
+clause once for the whole test fold.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from ..core.problem import Example, ExampleSet
+from .metrics import ConfusionMatrix, confusion
+from .timing import Stopwatch
 
-__all__ = ["Fold", "stratified_folds", "train_test_split"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from ..data.registry import DirtyDataset
+
+__all__ = ["Fold", "evaluate_on_split", "stratified_folds", "train_test_split"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +71,27 @@ def stratified_folds(examples: ExampleSet, k: int = 5, seed: int = 0) -> Iterato
             negatives=[e for i in range(k) if i != index for e in negative_folds[i]],
         )
         yield Fold(index=index, train=train, test=test)
+
+
+def evaluate_on_split(
+    learner_factory: Callable[[], object],
+    dataset: "DirtyDataset",
+    train: ExampleSet,
+    test: ExampleSet,
+) -> tuple[ConfusionMatrix, float, int]:
+    """Fit a fresh learner on *train* and batch-classify *test*.
+
+    Returns the test confusion matrix, the wall-clock learning time in
+    seconds, and the number of clauses in the learned definition.
+    """
+    problem = dataset.problem(examples=train)
+    learner = learner_factory()
+    with Stopwatch() as watch:
+        model = learner.fit(problem)
+    test_examples: list[Example] = test.all()
+    predictions = model.predict(test_examples)
+    labels = [example.positive for example in test_examples]
+    return confusion(predictions, labels), watch.seconds, len(model.definition)
 
 
 def train_test_split(examples: ExampleSet, test_fraction: float = 0.25, seed: int = 0) -> tuple[ExampleSet, ExampleSet]:

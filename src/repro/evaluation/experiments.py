@@ -16,11 +16,10 @@ from typing import Callable, Iterable, Sequence
 
 from ..baselines import make_learner
 from ..core.config import DLearnConfig
-from ..core.problem import Example, ExampleSet
+from ..core.problem import ExampleSet
 from ..data.registry import DirtyDataset, generate
-from .cross_validation import stratified_folds, train_test_split
-from .metrics import ConfusionMatrix, confusion
-from .timing import Stopwatch
+from .cross_validation import evaluate_on_split, stratified_folds, train_test_split
+from .metrics import ConfusionMatrix
 
 __all__ = [
     "EvaluationResult",
@@ -80,17 +79,6 @@ class ExperimentRow:
 # --------------------------------------------------------------------- #
 # generic evaluation
 # --------------------------------------------------------------------- #
-def _evaluate_on_split(learner_factory: Callable[[], object], dataset: DirtyDataset, train: ExampleSet, test: ExampleSet):
-    problem = dataset.problem(examples=train)
-    learner = learner_factory()
-    with Stopwatch() as watch:
-        model = learner.fit(problem)
-    test_examples: list[Example] = test.all()
-    predictions = model.predict(test_examples)
-    labels = [example.positive for example in test_examples]
-    return confusion(predictions, labels), watch.seconds, len(model.definition)
-
-
 def evaluate_learner(
     learner_factory: Callable[[], object],
     dataset: DirtyDataset,
@@ -105,7 +93,7 @@ def evaluate_learner(
     total_clauses = 0
     fold_count = 0
     for fold in stratified_folds(dataset.examples, k=folds, seed=seed):
-        matrix, seconds, clauses = _evaluate_on_split(learner_factory, dataset, fold.train, fold.test)
+        matrix, seconds, clauses = evaluate_on_split(learner_factory, dataset, fold.train, fold.test)
         total = total + matrix
         total_time += seconds
         total_clauses += clauses
@@ -221,7 +209,7 @@ def run_table6(
                 negatives=train_pool.negatives[: 2 * count],
             )
             factory = lambda cfg=km_config: make_learner("dlearn-cfd", cfg)
-            matrix, seconds, clauses = _evaluate_on_split(factory, dataset, train, test)
+            matrix, seconds, clauses = evaluate_on_split(factory, dataset, train, test)
             result = EvaluationResult(
                 system=f"DLearn-CFD (km={km})",
                 dataset=dataset.name,
@@ -259,7 +247,7 @@ def run_figure1_examples(
             negatives=train_pool.negatives[: 2 * count],
         )
         factory = lambda cfg=config: make_learner("dlearn", cfg)
-        matrix, seconds, clauses = _evaluate_on_split(factory, dataset, train, test)
+        matrix, seconds, clauses = evaluate_on_split(factory, dataset, train, test)
         result = EvaluationResult(
             system="DLearn (km=2)",
             dataset=dataset.name,

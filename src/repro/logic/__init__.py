@@ -22,7 +22,13 @@ from .atoms import (
 from .clauses import Definition, HornClause
 from .ordering import literal_sort_key, order_clause_body
 from .substitution import Substitution
-from .subsumption import SubsumptionChecker, SubsumptionResult, theta_subsumes
+from .subsumption import (
+    PreparedClause,
+    PreparedGeneral,
+    SubsumptionChecker,
+    SubsumptionResult,
+    theta_subsumes,
+)
 from .terms import (
     Constant,
     Term,
@@ -43,6 +49,8 @@ __all__ = [
     "HornClause",
     "Literal",
     "LiteralKind",
+    "PreparedClause",
+    "PreparedGeneral",
     "Substitution",
     "SubsumptionChecker",
     "SubsumptionResult",

@@ -72,6 +72,13 @@ class Comparison:
     op: ComparisonOp
     left: Term
     right: Term
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.op, self.left, self.right)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def terms(self) -> tuple[Term, Term]:
         return (self.left, self.right)
@@ -97,6 +104,13 @@ class Condition:
     """
 
     comparisons: frozenset[Comparison] = field(default_factory=frozenset)
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.comparisons))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @classmethod
     def of(cls, *comparisons: Comparison) -> "Condition":
@@ -155,6 +169,8 @@ class Literal:
     kind: LiteralKind = LiteralKind.RELATION
     condition: Condition = TRUE_CONDITION
     provenance: str | None = None
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _signature: tuple[str, str, int] = field(default=("", "", 0), init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind in (LiteralKind.SIMILARITY, LiteralKind.EQUALITY, LiteralKind.INEQUALITY, LiteralKind.REPAIR):
@@ -162,6 +178,16 @@ class Literal:
                 raise ValueError(f"{self.kind.value} literal requires exactly two terms, got {len(self.terms)}")
         if self.kind is not LiteralKind.REPAIR and not self.condition.is_trivial:
             raise ValueError("only repair literals may carry a non-trivial condition")
+        # Literals are hashed and signature-probed far more often than created
+        # (signature indexes, body frozensets, search assignments, clause
+        # caches); memoising both keeps those operations O(1).
+        object.__setattr__(
+            self, "_hash", hash((self.predicate, self.terms, self.kind, self.condition, self.provenance))
+        )
+        object.__setattr__(self, "_signature", (self.kind.value, self.predicate, len(self.terms)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -225,7 +251,7 @@ class Literal:
     # ------------------------------------------------------------------ #
     def signature(self) -> tuple[str, str, int]:
         """A (kind, predicate, arity) key used for indexing candidate matches."""
-        return (self.kind.value, self.predicate, self.arity)
+        return self._signature
 
     def __str__(self) -> str:
         args = ", ".join(str(t) for t in self.terms)

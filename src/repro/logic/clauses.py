@@ -46,12 +46,21 @@ class HornClause:
     # equality / hashing (order-insensitive on the body)
     # ------------------------------------------------------------------ #
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, HornClause):
             return NotImplemented
         return self.head == other.head and frozenset(self.body) == frozenset(other.body)
 
     def __hash__(self) -> int:
-        return hash((self.head, frozenset(self.body)))
+        # Memoised lazily: coverage caches key on whole clauses, and hashing
+        # a bottom clause is O(|body|) — paying that once per clause instead
+        # of once per cache lookup matters on the hot path.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.head, frozenset(self.body)))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
 
     # ------------------------------------------------------------------ #
     # introspection

@@ -35,14 +35,21 @@ construction (tens to a few hundreds of literals).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from functools import lru_cache
+from typing import Sequence
 
-from .atoms import Comparison, ComparisonOp, Literal, LiteralKind
+from .atoms import Comparison, ComparisonOp, Condition, Literal, LiteralKind
 from .clauses import HornClause
 from .substitution import Substitution
 from .terms import Constant, Term, Variable, is_constant, is_variable
 
-__all__ = ["PreparedClause", "SubsumptionChecker", "SubsumptionResult", "theta_subsumes"]
+__all__ = [
+    "PreparedClause",
+    "PreparedGeneral",
+    "SubsumptionChecker",
+    "SubsumptionResult",
+    "theta_subsumes",
+]
 
 
 @dataclass
@@ -72,28 +79,77 @@ class PreparedClause:
     similar: set[frozenset[Term]]
     unequal: set[frozenset[Term]]
 
+    @property
+    def body_unsatisfiable(self) -> bool:
+        """Whether the body asserts the equality of two distinct constants.
+
+        Such a body is false in every model, so no witnessing substitution can
+        rely on the offending equality; the collapse map refuses to merge the
+        constants and matching proceeds on the uncollapsed (sound) structure.
+        """
+        return self.collapse.unsatisfiable
+
+
+@dataclass
+class PreparedGeneral:
+    """Pre-processed 'general' side of subsumption checks (see :meth:`SubsumptionChecker.prepare_general`).
+
+    Coverage testing subsumes the same candidate clause against the prepared
+    ground bottom clause of every example; preparing the general (C) side
+    once — the structural/comparison split of the body and the head seed —
+    avoids repeating that O(|C|) work on every example.  The per-literal
+    signatures the candidate index is probed with are memoised on the
+    literals themselves (:meth:`repro.logic.atoms.Literal.signature`), so
+    they need no clause-level storage.
+    """
+
+    clause: HornClause
+    structural: tuple[Literal, ...]
+    comparisons: tuple[Literal, ...]
+    head: Literal
+
 
 class _BudgetExceeded(Exception):
     """Raised internally when a search exceeds the checker's step budget."""
 
 
 class _UnionFind:
-    """Union–find over terms, used to collapse D-side equality literals."""
+    """Union–find over terms, used to collapse D-side equality literals.
+
+    ``find`` is iterative with full path compression: D-side equality chains
+    grow with the clause (one link per equality literal), so a recursive walk
+    can exhaust Python's recursion limit mid-subsumption on large bottom
+    clauses.  ``union`` of two distinct constants marks the structure
+    ``unsatisfiable`` instead of collapsing them — the body asserts an
+    equality that holds in no model, and merging the constants would let a
+    general clause match literals it cannot actually map onto.
+    """
 
     def __init__(self) -> None:
         self._parent: dict[Term, Term] = {}
+        self.unsatisfiable = False
 
     def find(self, term: Term) -> Term:
-        parent = self._parent.get(term, term)
-        if parent == term:
-            return term
-        root = self.find(parent)
-        self._parent[term] = root
+        root = term
+        parent = self._parent.get(root, root)
+        while parent != root:
+            root = parent
+            parent = self._parent.get(root, root)
+        while term != root:
+            next_term = self._parent[term]
+            self._parent[term] = root
+            term = next_term
         return root
 
     def union(self, left: Term, right: Term) -> None:
         root_left, root_right = self.find(left), self.find(right)
         if root_left == root_right:
+            return
+        if is_constant(root_left) and is_constant(root_right):
+            # Two distinct constants asserted equal: the body is unsatisfiable.
+            # Refuse the merge — matching against the uncollapsed terms stays
+            # sound, and the flag lets callers surface the inconsistency.
+            self.unsatisfiable = True
             return
         # Prefer constants as representatives so collapsed variables expose
         # their ground value to constant pre-filtering.
@@ -106,8 +162,10 @@ class _UnionFind:
 class SubsumptionChecker:
     """Reusable θ-subsumption checker.
 
-    A single instance carries configuration only; it is safe to share across
-    threads because every :meth:`subsumes` call keeps its state on the stack.
+    A single instance is cheap and reusable across many checks, but NOT
+    thread-safe: the step-budget counter (``_steps``) lives on the instance,
+    so concurrent searches must each use their own checker (see
+    :meth:`repro.core.coverage.CoverageEngine._thread_checker`).
 
     Parameters
     ----------
@@ -161,32 +219,65 @@ class SubsumptionChecker:
             unequal=self._collapsed_pairs(specific, LiteralKind.INEQUALITY, collapse),
         )
 
+    def prepare_general(self, general: HornClause) -> "PreparedGeneral":
+        """Pre-process the general (C) side of subsumption checks.
+
+        The structural/comparison split of the body is a pure function of the
+        clause; computing it once lets :meth:`subsumes` check one candidate
+        clause against many prepared ground clauses without re-deriving it
+        per call.
+        """
+        return PreparedGeneral(
+            clause=general,
+            structural=tuple(lit for lit in general.body if lit.is_relation or lit.is_repair),
+            comparisons=tuple(lit for lit in general.body if lit.is_comparison),
+            head=general.head,
+        )
+
     def _as_prepared(self, specific: "HornClause | PreparedClause") -> "PreparedClause":
         return specific if isinstance(specific, PreparedClause) else self.prepare(specific)
 
-    def _seed_theta(self, general: HornClause, prepared: "PreparedClause") -> Substitution | None:
-        if general.head.predicate != prepared.clause.head.predicate or general.head.arity != prepared.clause.head.arity:
+    def _as_prepared_general(self, general: "HornClause | PreparedGeneral") -> "PreparedGeneral":
+        return general if isinstance(general, PreparedGeneral) else self.prepare_general(general)
+
+    def _seed_theta(self, head: Literal, prepared: "PreparedClause") -> Substitution | None:
+        if head.predicate != prepared.clause.head.predicate or head.arity != prepared.clause.head.arity:
             return None
         return self._match_terms(
-            general.head.terms,
+            head.terms,
             tuple(prepared.collapse.find(t) for t in prepared.clause.head.terms),
             Substitution(),
         )
 
-    def subsumes(self, general: HornClause, specific: "HornClause | PreparedClause") -> SubsumptionResult:
-        """Check whether *general* θ-subsumes *specific*."""
+    def subsumes(
+        self, general: "HornClause | PreparedGeneral", specific: "HornClause | PreparedClause"
+    ) -> SubsumptionResult:
+        """Check whether *general* θ-subsumes *specific*.
+
+        Both sides accept pre-processed forms: pass a :class:`PreparedGeneral`
+        for the general side and/or a :class:`PreparedClause` for the specific
+        side when the same clause participates in many checks.
+        """
+        prepared_general = self._as_prepared_general(general)
         prepared = self._as_prepared(specific)
-        seeded = self._seed_theta(general, prepared)
+        seeded = self._seed_theta(prepared_general.head, prepared)
         if seeded is None:
             return SubsumptionResult(False)
 
-        structural = [lit for lit in general.body if lit.is_relation or lit.is_repair]
-        comparisons = [lit for lit in general.body if lit.is_comparison]
+        structural = prepared_general.structural
+        comparisons = prepared_general.comparisons
 
         self._steps = 0
         try:
             witness = self._search(
-                structural, seeded, {}, prepared.index, prepared.collapse, comparisons, prepared.similar, prepared.unequal
+                structural,
+                seeded,
+                {},
+                prepared.index,
+                prepared.collapse,
+                comparisons,
+                prepared.similar,
+                prepared.unequal,
             )
             if witness is None:
                 return SubsumptionResult(False)
@@ -240,7 +331,7 @@ class SubsumptionChecker:
         that lost their head-connection afterwards.
         """
         prepared = self._as_prepared(specific)
-        theta = self._seed_theta(general, prepared)
+        theta = self._seed_theta(general.head, prepared)
         if theta is None:
             return []
 
@@ -287,7 +378,7 @@ class SubsumptionChecker:
             # Greedy extension failed.  If the literal cannot be matched even
             # under the head mapping alone it is blocking no matter what the
             # other goals chose — drop it without the expensive retry.
-            head_theta = self._seed_theta(general, prepared)
+            head_theta = self._seed_theta(general.head, prepared)
             if not any(
                 self._match_literal(literal, candidate, head_theta) is not None
                 for candidate in prepared.index.get(literal.signature(), ())
@@ -320,7 +411,7 @@ class SubsumptionChecker:
         try:
             return self._search(
                 structural,
-                self._seed_theta(general, prepared),
+                self._seed_theta(general.head, prepared),
                 {},
                 prepared.index,
                 prepared.collapse,
@@ -417,24 +508,21 @@ class SubsumptionChecker:
         application, not subsumption, and the paper's proofs treat conditions
         as carried along by the mapping of the argument variables.
         """
-        specific_comparisons = {self._comparison_key(c) for c in specific.condition.comparisons}
+        specific_comparisons = _condition_key_set(specific.condition)
         if not self.condition_subset:
-            general_applied = {self._comparison_key(c.replace_terms(theta.as_dict())) for c in general.condition.comparisons}
+            # ``Substitution`` duck-types the Mapping.get protocol that
+            # ``replace_terms`` relies on, so no per-comparison dict copy.
+            general_applied = {_comparison_key(c.replace_terms(theta)) for c in general.condition.comparisons}
             return theta if general_applied == specific_comparisons else None
         for comparison in general.condition.comparisons:
-            substituted = comparison.replace_terms(theta.as_dict())
+            substituted = comparison.replace_terms(theta)
             if substituted_has_unbound(substituted, theta):
                 # Comparisons over still-unbound variables only constrain the
                 # eventual repair application, not the subsumption mapping.
                 continue
-            if self._comparison_key(substituted) not in specific_comparisons:
+            if _comparison_key(substituted) not in specific_comparisons:
                 return None
         return theta
-
-    @staticmethod
-    def _comparison_key(comparison: Comparison) -> tuple[str, frozenset[Term]] | tuple[str, Term, Term]:
-        # = , != and ~ are all symmetric comparisons.
-        return (comparison.op.value, frozenset((comparison.left, comparison.right)))
 
     # ------------------------------------------------------------------ #
     # backtracking search
@@ -446,7 +534,7 @@ class SubsumptionChecker:
         assignment: dict[Literal, Literal],
         d_index: dict[tuple[str, str, int], list[Literal]],
         collapse: _UnionFind,
-        comparisons: list[Literal],
+        comparisons: Sequence[Literal],
         d_similar: set[frozenset[Term]],
         d_unequal: set[frozenset[Term]],
         require_connectivity: HornClause | None = None,
@@ -520,7 +608,7 @@ class SubsumptionChecker:
 
     def _check_comparisons(
         self,
-        comparisons: list[Literal],
+        comparisons: Sequence[Literal],
         theta: Substitution,
         collapse: _UnionFind,
         d_similar: set[frozenset[Term]],
@@ -581,6 +669,22 @@ class SubsumptionChecker:
 def substituted_has_unbound(comparison: Comparison, theta: Substitution) -> bool:
     """True when the substituted comparison still mentions an unbound variable."""
     return any(is_variable(t) and t not in theta for t in comparison.terms())
+
+
+def _comparison_key(comparison: Comparison) -> tuple[str, frozenset[Term]]:
+    # = , != and ~ are all symmetric comparisons.
+    return (comparison.op.value, frozenset((comparison.left, comparison.right)))
+
+
+@lru_cache(maxsize=8192)
+def _condition_key_set(condition: Condition) -> frozenset[tuple[str, frozenset[Term]]]:
+    """Order-insensitive keys of a condition's comparisons.
+
+    Repair-literal matching consults the specific side's key set once per
+    candidate pair; conditions are immutable and recur across the whole
+    search, so the set is memoised process-wide.
+    """
+    return frozenset(_comparison_key(c) for c in condition.comparisons)
 
 
 _DEFAULT_CHECKER = SubsumptionChecker()

@@ -45,15 +45,24 @@ class Variable:
     Variables compare and hash by name only; two variables with the same name
     are the same variable.  Names never contain whitespace so that the textual
     rendering of a clause can be parsed back unambiguously in tests.
+
+    The hash is memoised at construction: terms are hashed far more often
+    than they are created (substitution bindings, signature indexes, clause
+    caches), so the precomputed value keeps those dictionary operations flat.
     """
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("variable name must be non-empty")
         if any(ch.isspace() for ch in self.name):
             raise ValueError(f"variable name must not contain whitespace: {self.name!r}")
+        object.__setattr__(self, "_hash", hash(("Variable", self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.name
@@ -72,14 +81,19 @@ class Constant:
     """
 
     value: object = field(default=None)
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Ensure hashability early: a constant that cannot be hashed would
         # break substitutions and indexes much later with a confusing error.
+        # The computed hash is memoised for the same reason as Variable's.
         try:
-            hash(self.value)
+            object.__setattr__(self, "_hash", hash(("Constant", self.value)))
         except TypeError as exc:  # pragma: no cover - defensive
             raise TypeError(f"constant value must be hashable, got {type(self.value)!r}") from exc
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return repr(self.value)

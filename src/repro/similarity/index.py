@@ -138,10 +138,19 @@ class SimilarityIndex:
         )
 
     def score_of(self, left: object, right: object) -> float | None:
-        """Kept score of the pair, ``None`` when the pair was not kept."""
+        """Kept score of the pair, ``None`` when the pair was not kept.
+
+        Direction-symmetric, mirroring :meth:`are_similar`: the pair may
+        survive top-``k_m`` trimming in only one direction (e.g. *right* keeps
+        *left* among its matches while *left*'s list is crowded out by better
+        partners), and such a pair must still report its score.
+        """
         self._require_built()
         for match in self.matches_of(left):
             if match.partner == right:
+                return match.score
+        for match in self.matches_of(right):
+            if match.partner == left:
                 return match.score
         return None
 

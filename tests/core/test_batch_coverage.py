@@ -1,0 +1,135 @@
+"""Tests for the batched, cache-aware coverage engine.
+
+The batched path (``batch_covers`` / ``covered_counts`` /
+``batch_predicts_positive``) must return exactly the verdicts of the serial
+reference path (``covers_serial``) for every (clause, example) pair, with and
+without the thread-pool fan-out, and the engine's clause-level caches must
+behave like caches (identity on repeat, cleared by ``clear_cache``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BottomClauseBuilder, CoverageEngine, DLearnConfig, Example
+from repro.db import Sampler
+from repro.logic import Constant, HornClause, Variable, relation_literal
+from repro.logic.subsumption import PreparedGeneral, SubsumptionChecker
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+
+POS_M1 = Example(("m1",), True)
+POS_M2 = Example(("m2",), True)
+NEG_M3 = Example(("m3",), False)
+NEG_M4 = Example(("m4",), False)
+ALL_EXAMPLES = [POS_M1, POS_M2, NEG_M3, NEG_M4]
+
+
+@pytest.fixture
+def dirty_movie_problem(movie_problem):
+    """The toy movie world with a CFD violation (two genres for m1).
+
+    The conflicting genre makes bottom clauses touching m1 carry a CFD repair
+    group, so coverage testing exercises the MD-projection and CFD-variant
+    branches of Section 4.3 — the paths whose caching the batched engine adds.
+    """
+    movie_problem.database.insert("mov2genres", ("m1", "romance"))
+    return movie_problem
+
+
+def make_engine(problem, config) -> CoverageEngine:
+    indexes = problem.build_similarity_indexes(
+        top_k=config.top_k_matches, threshold=config.similarity_threshold
+    )
+    builder = BottomClauseBuilder(problem, config, indexes, Sampler(0))
+    return CoverageEngine(builder, config, SubsumptionChecker())
+
+
+@pytest.fixture
+def engine(dirty_movie_problem, fast_config) -> CoverageEngine:
+    return make_engine(dirty_movie_problem, fast_config)
+
+
+def candidate_clauses(engine: CoverageEngine) -> list[HornClause]:
+    """Clause population of the shapes learning evaluates: bottoms + manual clauses."""
+    comedy = HornClause(
+        relation_literal("highGrossing", X),
+        (relation_literal("movies", X, Y, Z), relation_literal("mov2genres", X, Constant("comedy"))),
+    )
+    drama = HornClause(
+        relation_literal("highGrossing", X),
+        (relation_literal("mov2genres", X, Constant("drama")),),
+    )
+    bottoms = [engine.builder.build(example, ground=False) for example in (POS_M1, POS_M2)]
+    return [comedy, drama, *bottoms]
+
+
+class TestBatchedMatchesSerial:
+    def test_batch_covers_matches_serial_verdicts(self, engine):
+        for clause in candidate_clauses(engine):
+            serial = [engine.covers_serial(clause, example) for example in ALL_EXAMPLES]
+            assert engine.batch_covers(clause, ALL_EXAMPLES) == serial
+            assert [engine.covers(clause, example) for example in ALL_EXAMPLES] == serial
+
+    def test_covered_counts_matches_serial(self, engine):
+        positives, negatives = [POS_M1, POS_M2], [NEG_M3, NEG_M4]
+        for clause in candidate_clauses(engine):
+            assert engine.covered_counts(clause, positives, negatives) == engine.covered_counts_serial(
+                clause, positives, negatives
+            )
+
+    def test_thread_fanout_matches_serial(self, dirty_movie_problem, fast_config):
+        parallel_engine = make_engine(dirty_movie_problem, fast_config.but(n_jobs=2))
+        for clause in candidate_clauses(parallel_engine):
+            serial = [parallel_engine.covers_serial(clause, example) for example in ALL_EXAMPLES]
+            assert parallel_engine.batch_covers(clause, ALL_EXAMPLES) == serial
+
+    def test_batch_predicts_positive_matches_pointwise(self, engine):
+        clauses = candidate_clauses(engine)[:2]
+        batched = engine.batch_predicts_positive(clauses, ALL_EXAMPLES)
+        pointwise = [engine.predicts_positive(clauses, example) for example in ALL_EXAMPLES]
+        assert batched == pointwise
+
+    def test_empty_example_list(self, engine):
+        assert engine.batch_covers(candidate_clauses(engine)[0], []) == []
+
+
+class TestClauseCaches:
+    def test_prepared_general_is_cached_and_accepted(self, engine):
+        clause = candidate_clauses(engine)[0]
+        prepared = engine._prepare_general(clause)
+        assert isinstance(prepared, PreparedGeneral)
+        assert engine._prepare_general(clause) is prepared
+        # The prepared object is accepted anywhere a clause is.
+        assert engine.batch_covers(prepared, ALL_EXAMPLES) == engine.batch_covers(clause, ALL_EXAMPLES)
+
+    def test_md_projection_and_variants_are_cached(self, engine):
+        bottom = engine.builder.build(POS_M1, ground=False)
+        assert engine._md_projection_of(bottom) is engine._md_projection_of(bottom)
+        assert engine._cfd_variants_of(bottom) is engine._cfd_variants_of(bottom)
+
+    def test_clear_cache_resets_everything(self, engine):
+        clause = candidate_clauses(engine)[0]
+        prepared = engine._prepare_general(clause)
+        ground = engine.prepared_ground(POS_M1)
+        engine.clear_cache()
+        assert engine._prepare_general(clause) is not prepared
+        assert engine.prepared_ground(POS_M1) is not ground
+
+
+class TestGroundCacheKey:
+    def test_ground_clause_is_shared_across_labels(self, engine):
+        """Regression: the cache used to key on (values, positive), building the
+        same ground bottom clause twice for an example seen with both labels."""
+        as_positive = engine.prepared_ground(Example(("m1",), True))
+        as_negative = engine.prepared_ground(Example(("m1",), False))
+        assert as_positive is as_negative
+
+
+class TestConfig:
+    def test_n_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DLearnConfig(n_jobs=0)
+
+    def test_n_jobs_default_is_serial(self, fast_config):
+        assert fast_config.n_jobs == 1

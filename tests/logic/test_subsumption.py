@@ -12,6 +12,7 @@ from repro.logic import (
     Condition,
     Constant,
     HornClause,
+    PreparedGeneral,
     SubsumptionChecker,
     Variable,
     equality_literal,
@@ -171,6 +172,169 @@ class TestRepairLiterals:
             head(A), (relation_literal("r", A, B), repair_literal(A, C, right_cond, provenance="p"))
         )
         assert theta_subsumes(general, specific)
+
+
+class TestPreparedGeneral:
+    """The prepared general (C) side must be interchangeable with the raw clause."""
+
+    def _pairs(self):
+        u1, u2 = Variable("u1"), Variable("u2")
+        condition = Condition.of(Comparison(ComparisonOp.SIM, X, Z))
+        md_general = HornClause(
+            head(X, "highGrossing"),
+            (
+                relation_literal("movies", Y, Z),
+                similarity_literal(X, Z),
+                repair_literal(X, u1, condition),
+                repair_literal(Z, u2, condition),
+                equality_literal(u1, u2),
+            ),
+        )
+        g1, g2 = Variable("g1"), Variable("g2")
+        title_e, title_db = Constant("Superbad"), Constant("Superbad (2007)")
+        ground_condition = Condition.of(Comparison(ComparisonOp.SIM, title_e, title_db))
+        md_specific = HornClause(
+            head(title_e, "highGrossing"),
+            (
+                relation_literal("movies", Constant("m1"), title_db),
+                similarity_literal(title_e, title_db),
+                repair_literal(title_e, g1, ground_condition),
+                repair_literal(title_db, g2, ground_condition),
+                equality_literal(g1, g2),
+            ),
+        )
+        plain_general = HornClause(head(), (relation_literal("r", X, Y), relation_literal("s", Y, X)))
+        plain_yes = HornClause(head(A), (relation_literal("r", A, B), relation_literal("s", B, A)))
+        plain_no = HornClause(head(A), (relation_literal("r", A, B), relation_literal("s", C, A)))
+        return [(md_general, md_specific), (plain_general, plain_yes), (plain_general, plain_no)]
+
+    def test_prepared_general_matches_raw_verdicts(self):
+        checker = SubsumptionChecker()
+        for general, specific in self._pairs():
+            raw = checker.subsumes(general, specific).subsumes
+            prepared_general = checker.prepare_general(general)
+            assert isinstance(prepared_general, PreparedGeneral)
+            assert checker.subsumes(prepared_general, specific).subsumes == raw
+            # Both sides prepared at once.
+            prepared_specific = checker.prepare(specific)
+            assert checker.subsumes(prepared_general, prepared_specific).subsumes == raw
+
+    def test_prepared_general_splits_body(self):
+        checker = SubsumptionChecker()
+        general, _ = self._pairs()[0]
+        prepared = checker.prepare_general(general)
+        assert all(lit.is_relation or lit.is_repair for lit in prepared.structural)
+        assert all(lit.is_comparison for lit in prepared.comparisons)
+        assert len(prepared.structural) + len(prepared.comparisons) == len(general.body)
+        assert prepared.head is general.head
+
+    def test_prepared_general_is_reusable(self):
+        checker = SubsumptionChecker()
+        general, specific = self._pairs()[0]
+        prepared = checker.prepare_general(general)
+        first = checker.subsumes(prepared, specific).subsumes
+        second = checker.subsumes(prepared, specific).subsumes
+        assert first == second == True  # noqa: E712
+
+
+class TestUnionFindCollapse:
+    def test_deep_equality_chain_does_not_hit_recursion_limit(self):
+        """Regression: D-side equality chains used to recurse once per link."""
+        depth = 3000  # far beyond the default recursion limit
+        chain_vars = [Variable(f"c{i}") for i in range(depth + 1)]
+        body = tuple(equality_literal(chain_vars[i], chain_vars[i + 1]) for i in range(depth)) + (
+            relation_literal("r", A, chain_vars[0]),
+        )
+        specific = HornClause(head(A), body)
+        general = HornClause(head(), (relation_literal("r", X, Y),))
+        assert theta_subsumes(general, specific)
+
+    def test_equality_of_distinct_constants_flags_unsatisfiable(self):
+        checker = SubsumptionChecker()
+        specific = HornClause(
+            head(A),
+            (
+                relation_literal("r", A, Constant("comedy")),
+                equality_literal(Constant("comedy"), Constant("drama")),
+            ),
+        )
+        prepared = checker.prepare(specific)
+        assert prepared.body_unsatisfiable
+
+    def test_distinct_constants_are_not_silently_collapsed(self):
+        """Regression: collapsing 'a' = 'b' let C match a literal it cannot map onto."""
+        general = HornClause(head(), (relation_literal("r", X, Constant("drama")),))
+        specific = HornClause(
+            head(A),
+            (
+                relation_literal("r", A, Constant("comedy")),
+                equality_literal(Constant("comedy"), Constant("drama")),
+            ),
+        )
+        # Pre-fix the union-find collapsed the two constants, so C's 'drama'
+        # literal wrongly matched D's 'comedy' literal.
+        assert not theta_subsumes(general, specific)
+
+    def test_satisfiable_bodies_stay_unflagged(self):
+        checker = SubsumptionChecker()
+        specific = HornClause(
+            head(A),
+            (relation_literal("r", A, B), equality_literal(B, Constant("comedy"))),
+        )
+        prepared = checker.prepare(specific)
+        assert not prepared.body_unsatisfiable
+        general = HornClause(head(), (relation_literal("r", X, Constant("comedy")),))
+        assert theta_subsumes(general, specific)
+
+
+class TestBudgetAndConnectivityRetry:
+    def test_exhausted_budget_reports_does_not_subsume(self):
+        """A pair that subsumes under a generous budget must flip to the conservative 'no'."""
+        body_general = tuple(
+            relation_literal("r", Variable(f"x{i}"), Variable(f"x{i+1}")) for i in range(6)
+        )
+        body_specific = tuple(
+            relation_literal("r", Variable(f"a{i}"), Variable(f"a{i+1}")) for i in range(6)
+        )
+        general = HornClause(head(Variable("x0")), body_general)
+        specific = HornClause(head(Variable("a0")), body_specific)
+        assert SubsumptionChecker(max_steps=None).subsumes(general, specific).subsumes
+        assert not SubsumptionChecker(max_steps=2).subsumes(general, specific).subsumes
+
+    def test_connectivity_retry_finds_alternative_witness(self):
+        """Definition 4.4 retry: the first witness maps a literal with a connected
+        unmapped repair literal; the exhaustive retry must find the clean one."""
+        y1, y2, u = Variable("y1"), Variable("y2"), Variable("u")
+        general = HornClause(head(X), (relation_literal("p", X, Y),))
+        specific = HornClause(
+            head(A),
+            (
+                relation_literal("p", A, y1),  # first candidate: connected to the repair below
+                repair_literal(y1, u, Condition.of(Comparison(ComparisonOp.SIM, A, y1))),
+                relation_literal("p", A, y2),  # repair-free alternative
+            ),
+        )
+        checker = SubsumptionChecker(respect_repair_connectivity=True)
+        result = checker.subsumes(general, specific)
+        assert result.subsumes
+        assert result.theta is not None
+        assert result.theta.apply_term(Y) == y2
+
+    def test_connectivity_retry_exhausts_to_no(self):
+        """When every witness violates connectivity the verdict is 'does not subsume'."""
+        y1, u = Variable("y1"), Variable("u")
+        general = HornClause(head(X), (relation_literal("p", X, Y),))
+        specific = HornClause(
+            head(A),
+            (
+                relation_literal("p", A, y1),
+                repair_literal(y1, u, Condition.of(Comparison(ComparisonOp.SIM, A, y1))),
+            ),
+        )
+        strict = SubsumptionChecker(respect_repair_connectivity=True)
+        loose = SubsumptionChecker(respect_repair_connectivity=False)
+        assert not strict.subsumes(general, specific).subsumes
+        assert loose.subsumes(general, specific).subsumes
 
 
 class TestRobustness:

@@ -142,6 +142,26 @@ class TestSimilarityIndex:
         assert index.score_of("Superbad", "Quiet Anthem") is None
         assert index.pair_count() >= 3
 
+    def test_score_of_is_direction_symmetric(self):
+        """Regression: a pair kept in only one direction must still report a score.
+
+        With ``top_k=1`` the left value keeps only its single best partner,
+        but every right-column variant keeps the left value (it is their only
+        candidate).  ``are_similar`` already looked both ways; ``score_of``
+        used to scan only ``matches_of(left)`` and returned ``None`` for the
+        trimmed-away partner.
+        """
+        index = SimilarityIndex(SimilarityOperator(threshold=0.3), top_k=1)
+        variants = ["Silent River (1999)", "Silent River II", "Silent Riverbed"]
+        index.build(["Silent River"], variants)
+        kept = set(index.partners_of("Silent River"))
+        assert len(kept) == 1
+        for variant in variants:
+            assert index.are_similar("Silent River", variant)
+            score = index.score_of("Silent River", variant)
+            assert score is not None, f"similar pair without a score: {variant!r}"
+            assert score == index.score_of(variant, "Silent River")
+
     def test_lookup_before_build_raises(self):
         with pytest.raises(RuntimeError):
             SimilarityIndex().partners_of("x")
