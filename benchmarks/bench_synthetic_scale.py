@@ -1,0 +1,104 @@
+"""Scale benchmark for the synthetic scenario generator and learning pipeline.
+
+Grows a synthetic dirty scenario along one axis at a time — entity count,
+satellite fan-out, and join depth — and reports, per size: generation time,
+database size, similarity-index build time, and one full DLearn-CFD
+train/evaluate cycle.  This is the workload the ROADMAP's "as many scenarios
+as you can imagine" goal runs at scale, so the numbers here are the baseline
+any future generator or learner optimisation is measured against.
+
+Run it directly (pytest does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_synthetic_scale.py            # full ladder
+    PYTHONPATH=src python benchmarks/bench_synthetic_scale.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core import DLearnConfig
+from repro.data.synthetic import ScenarioSpec, generate
+from repro.evaluation import confusion, train_test_split
+from repro.baselines import make_learner
+
+
+def _config() -> DLearnConfig:
+    return DLearnConfig(
+        iterations=3,
+        sample_size=8,
+        top_k_matches=3,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+        seed=0,
+    )
+
+
+def _ladder(quick: bool) -> list[tuple[str, ScenarioSpec]]:
+    dirty = dict(
+        string_variant_intensity=0.3,
+        md_drift=0.3,
+        cfd_violation_rate=0.05,
+        null_rate=0.05,
+        duplicate_rate=0.1,
+        n_positives=10,
+        n_negatives=20,
+        seed=7,
+    )
+    entity_sizes = (60, 120) if quick else (60, 120, 240, 480)
+    rungs = [(f"entities={n}", ScenarioSpec(n_entities=n, **dirty)) for n in entity_sizes]
+    if not quick:
+        rungs.append(("fanout=3 sats=3", ScenarioSpec(n_entities=120, n_satellites=3, fanout=3, **dirty)))
+        rungs.append(("join_depth=3", ScenarioSpec(n_entities=120, join_depth=3, **dirty)))
+    return rungs
+
+
+def run(quick: bool) -> None:
+    config = _config()
+    header = (
+        f"{'scenario':<18} {'tuples':>7} {'gen_s':>7} {'learn_s':>8} {'predict_s':>10} "
+        f"{'F1':>5} {'clauses':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, spec in _ladder(quick):
+        started = time.perf_counter()
+        dataset = generate(spec)
+        generation_seconds = time.perf_counter() - started
+
+        train, test = train_test_split(dataset.examples, test_fraction=0.25, seed=0)
+        learner = make_learner("dlearn-cfd", config)
+        started = time.perf_counter()
+        model = learner.fit(dataset.problem(examples=train))
+        learning_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        predictions = model.predict(test.all())
+        prediction_seconds = time.perf_counter() - started
+        matrix = confusion(predictions, [example.positive for example in test.all()])
+
+        print(
+            f"{label:<18} {dataset.database.tuple_count():>7} {generation_seconds:>7.2f} "
+            f"{learning_seconds:>8.2f} {prediction_seconds:>10.2f} {matrix.f1:>5.2f} "
+            f"{len(model.definition):>8}"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small ladder for CI")
+    args = parser.parse_args()
+    run(quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

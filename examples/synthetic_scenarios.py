@@ -1,0 +1,70 @@
+"""Walkthrough: generating synthetic dirty scenarios and sweeping their knobs.
+
+The bundled datasets (``imdb_omdb``, ``walmart_amazon``, ``dblp_scholar``)
+are three fixed worlds.  The ``synthetic`` generator builds arbitrary ones: a
+:class:`repro.data.ScenarioSpec` controls the shape of a two-source relation
+graph and five independent dirtiness knobs.  This script
+
+1. generates one scenario and shows what it contains,
+2. demonstrates that zero dirtiness means the dirty instance *is* the clean
+   instance,
+3. sweeps the MD-drift knob through ``run_scenario_grid`` and prints
+   dirty-learning F1 next to the clean-learning ceiling.
+
+Run with:  PYTHONPATH=src python examples/synthetic_scenarios.py
+"""
+
+from __future__ import annotations
+
+from repro.core import DLearnConfig
+from repro.data import ScenarioSpec, generate
+from repro.evaluation import format_rows, run_scenario_grid
+
+
+def main() -> None:
+    # 1. One dirty scenario: 80 entities, drifted names, nulls and duplicates.
+    spec = ScenarioSpec(
+        n_entities=80,
+        n_satellites=2,
+        fanout=2,
+        md_drift=0.4,
+        null_rate=0.1,
+        duplicate_rate=0.15,
+        string_variant_intensity=0.3,
+        seed=11,
+    )
+    scenario = generate("synthetic", spec=spec)
+    print(scenario.summary())
+    print(scenario.description)
+    print(f"injected MD-variant pairs: {len(scenario.injected_variants)}; first three:")
+    for canonical, variant in scenario.injected_variants[:3]:
+        print(f"  {canonical!r:<40} -> {variant!r}")
+
+    # 2. All-zero knobs: the dirty instance equals the clean reference instance.
+    pristine = generate("synthetic", n_entities=80, seed=11)
+    print(
+        "\nzero-dirtiness scenario: dirty == clean instance ->",
+        pristine.database.content_equals(pristine.clean_database),
+    )
+
+    # 3. Dirty-vs-clean learning while MD drift grows.
+    config = DLearnConfig(
+        iterations=3,
+        sample_size=8,
+        top_k_matches=3,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+    )
+    outcomes = run_scenario_grid(
+        ScenarioSpec(n_entities=80, n_positives=10, n_negatives=20, string_variant_intensity=0.3, seed=11),
+        {"md_drift": [0.0, 0.3, 0.6]},
+        config=config,
+    )
+    print()
+    print(format_rows([outcome.row() for outcome in outcomes], title="MD drift sweep"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,19 @@
-"""Synthetic multi-source dirty datasets mirroring the paper's benchmarks."""
+"""Synthetic multi-source dirty datasets mirroring the paper's benchmarks.
 
-from . import dblp_scholar, imdb_omdb, walmart_amazon
+Besides the three fixed dataset families the package provides
+:mod:`repro.data.synthetic`, a seeded parametric generator of arbitrary
+dirty-data scenarios (registered under the name ``synthetic``).
+"""
+
+from . import dblp_scholar, imdb_omdb, synthetic, walmart_amazon
 from .corruption import inject_cfd_violations, name_variant, string_variant
 from .registry import DirtyDataset, available_datasets, generate, register_dataset
+from .synthetic import ScenarioSpec, SyntheticScenario
 
 __all__ = [
     "DirtyDataset",
+    "ScenarioSpec",
+    "SyntheticScenario",
     "available_datasets",
     "dblp_scholar",
     "generate",
@@ -14,5 +22,6 @@ __all__ = [
     "name_variant",
     "register_dataset",
     "string_variant",
+    "synthetic",
     "walmart_amazon",
 ]

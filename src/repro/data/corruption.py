@@ -41,6 +41,10 @@ def string_variant(value: str, rng: random.Random, *, year: int | None = None, i
     sources.  The transformations mimic the heterogeneity of the paper's
     datasets: appended years, dropped subtitles, punctuation and case
     differences, abbreviations.
+
+    Once the intensity draw decides the value *is* to be changed, the
+    returned rendering is guaranteed to differ from *value* — the only way
+    to get the original back is the ``1 - intensity`` branch.
     """
     if rng.random() >= intensity:
         return value
@@ -52,6 +56,10 @@ def string_variant(value: str, rng: random.Random, *, year: int | None = None, i
     if variant == value:
         # Fall back to a transformation guaranteed to change the rendering.
         variant = _append_year(value, rng, year) if year is not None else _casing(value, rng, None)
+    if variant == value:
+        # Casing is a no-op for letter-free strings ("2001", "4k-hdmi");
+        # perturb the punctuation instead, which changes any rendering.
+        variant = f"{value}." if rng.random() < 0.5 else f"{value} -"
     return variant
 
 

@@ -5,8 +5,13 @@ datasets provides: the integrated multi-source database, the target relation,
 labelled examples, the MDs and CFDs, and the bookkeeping the baselines need
 (which source holds the target's key, which attributes are categorical).
 
-:func:`generate` builds any of the three datasets by name, which is what the
-benchmark harness and the examples use.
+:func:`generate` builds any registered dataset by name, which is what the
+benchmark harness and the examples use.  Besides the three hand-built
+families (``imdb_omdb``/``imdb_omdb_3mds``, ``walmart_amazon``,
+``dblp_scholar``) the registry serves ``synthetic``, the parametric
+dirty-scenario generator of :mod:`repro.data.synthetic`, which accepts a full
+:class:`~repro.data.synthetic.ScenarioSpec` (or its keyword arguments) and
+returns a dataset that also carries its clean reference instance.
 """
 
 from __future__ import annotations
@@ -26,7 +31,13 @@ __all__ = ["DirtyDataset", "generate", "available_datasets", "register_dataset"]
 
 @dataclass
 class DirtyDataset:
-    """One synthetic multi-source dirty dataset (schema + data + constraints + examples)."""
+    """One synthetic multi-source dirty dataset (schema + data + constraints + examples).
+
+    ``clean_database`` optionally holds the uncorrupted reference instance the
+    dirty one was derived from; generators that synthesise corruption (the
+    ``synthetic`` scenario generator) populate it so dirty-vs-clean learning
+    can be compared on the same world (:meth:`clean_dataset`).
+    """
 
     name: str
     database: DatabaseInstance
@@ -37,6 +48,7 @@ class DirtyDataset:
     constant_attributes: frozenset[tuple[str, str]] = frozenset()
     target_source: str | None = None
     description: str = ""
+    clean_database: DatabaseInstance | None = None
 
     # ------------------------------------------------------------------ #
     def problem(
@@ -64,6 +76,18 @@ class DirtyDataset:
     def with_examples(self, examples: ExampleSet) -> "DirtyDataset":
         return replace(self, examples=examples)
 
+    def clean_dataset(self) -> "DirtyDataset":
+        """Return this dataset over its clean reference instance.
+
+        Only available when the generator recorded one (``clean_database``);
+        the constraints trivially hold on the clean instance, so learning
+        over it is the "learning after perfect cleaning" yardstick the
+        paper's comparison needs.
+        """
+        if self.clean_database is None:
+            raise ValueError(f"dataset {self.name!r} does not carry a clean reference instance")
+        return replace(self, database=self.clean_database, name=f"{self.name} [clean]")
+
     def summary(self) -> str:
         counts = self.database.tuple_counts()
         return (
@@ -87,10 +111,18 @@ def available_datasets() -> list[str]:
 
 
 def generate(name: str, **kwargs) -> DirtyDataset:
-    """Generate a dataset by name (``imdb_omdb``, ``imdb_omdb_3mds``, ``walmart_amazon``, ``dblp_scholar``).
+    """Generate a dataset by name.
 
-    Keyword arguments are forwarded to the dataset's generator (all of them
-    accept at least ``n_entities`` and ``seed``).
+    Registered names: ``imdb_omdb``, ``imdb_omdb_3mds``, ``walmart_amazon``,
+    ``dblp_scholar``, and ``synthetic`` — the parametric scenario generator of
+    :mod:`repro.data.synthetic`, which accepts ``spec=ScenarioSpec(...)`` or
+    the spec's keyword arguments (``n_entities``, ``md_drift``,
+    ``null_rate``, ``duplicate_rate``, ``cfd_violation_rate``,
+    ``string_variant_intensity``, ``join_depth``, ``fanout``, ...) and whose
+    result additionally carries the clean reference instance and the injected
+    MD-variant pairs.  Keyword arguments are forwarded to the dataset's
+    generator; every generator accepts at least a size parameter and
+    ``seed``, making ``generate(name, seed=s)`` fully reproducible.
     """
     _ensure_registered()
     try:
@@ -104,9 +136,10 @@ def _ensure_registered() -> None:
     if _REGISTRY:
         return
     # Imported lazily to avoid a circular import at package-load time.
-    from . import dblp_scholar, imdb_omdb, walmart_amazon  # noqa: F401
+    from . import dblp_scholar, imdb_omdb, synthetic, walmart_amazon  # noqa: F401
 
     register_dataset("imdb_omdb", lambda **kw: imdb_omdb.generate(md_count=1, **kw))
     register_dataset("imdb_omdb_3mds", lambda **kw: imdb_omdb.generate(md_count=3, **kw))
     register_dataset("walmart_amazon", walmart_amazon.generate)
     register_dataset("dblp_scholar", dblp_scholar.generate)
+    register_dataset("synthetic", synthetic.generate)

@@ -1,0 +1,539 @@
+"""Seeded, parametric generator of arbitrary dirty-data scenarios.
+
+The three hand-built dataset families (``imdb_omdb``, ``walmart_amazon``,
+``dblp_scholar``) each exercise the paper's claim on one fixed schema with one
+fixed corruption mix.  This module generalises them: a :class:`ScenarioSpec`
+describes a random two-source relation graph — how many satellite relations
+hang off each source hub, their arity and fan-out, and how long the key chain
+from the right hub to the label relation is — plus five *independent*
+dirtiness knobs:
+
+``string_variant_intensity``
+    Representational noise on right-source payload strings (differently
+    formatted copies of the same value).
+``md_drift``
+    MD-matchable value drift on the right hub's entity names: every drifted
+    rendering is verified at generation time to clear the configured
+    similarity threshold, so each injected variant pair is recoverable
+    through the similarity index by construction.
+``cfd_violation_rate``
+    Fraction of constrained tuples ending up in a CFD violation: each
+    original row of a constrained relation independently receives a
+    conflicting duplicate with probability ``rate / 2``, so (victim +
+    duplicate) roughly ``rate`` of the relation's tuples violate, matching
+    the paper's ``p``.  Unlike
+    :func:`repro.data.corruption.inject_cfd_violations` — which draws its
+    victims from one sequential stream — the decision is cell-keyed, so this
+    knob obeys the same monotonicity/independence contract as the others.
+``null_rate``
+    Probability a satellite payload cell is NULL.
+``duplicate_rate``
+    Fraction of entities re-inserted into the right source as a duplicate
+    entity under a fresh key and a drifted name.
+
+Every corruption decision is keyed on ``(seed, kind, cell)`` rather than on a
+shared sequential stream, which yields two properties the metamorphic test
+harness relies on:
+
+* **determinism** — the same spec produces byte-identical clean and dirty
+  instances and examples;
+* **knob monotonicity** — raising one knob only *adds* corruptions (a cell
+  corrupted at rate ``p`` is corrupted, identically, at every rate ``p' ≥ p``)
+  and never changes the others, because each cell draws its threshold from
+  its own private RNG.
+
+The generator returns a :class:`SyntheticScenario`, a
+:class:`repro.data.registry.DirtyDataset` that additionally carries the clean
+reference instance, the generating spec and the injected MD-variant pairs.
+It is registered in :mod:`repro.data.registry` under the name ``synthetic``.
+
+The target concept mirrors the bundled datasets: ``syn_target(aid)`` holds
+for entities carrying the target category (recorded only in source A) *and*
+the positive flag (recorded only in source B), so an accurate definition must
+cross the sources through the name-matching dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from ..constraints.cfds import ConditionalFunctionalDependency
+from ..constraints.mds import MatchingDependency
+from ..core.problem import ExampleSet
+from ..db.instance import DatabaseInstance
+from ..db.schema import DatabaseSchema, RelationSchema
+from ..db.types import AttributeType
+from ..db.tuples import Tuple
+from ..similarity.composite import SimilarityOperator
+from . import names
+from .corruption import corrupted_value, string_variant
+from .registry import DirtyDataset
+
+__all__ = [
+    "KNOB_FIELDS",
+    "ScenarioSpec",
+    "SyntheticScenario",
+    "generate",
+    "schema_for",
+    "target_schema",
+]
+
+#: Value of the ``category`` attribute that makes an entity a positive candidate.
+TARGET_CATEGORY = "alpha"
+#: Value of the ``flag`` attribute that makes an entity a positive candidate.
+POSITIVE_FLAG = "yes"
+NEGATIVE_FLAG = "no"
+
+_CATEGORY_POOL = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+
+#: The five independent dirtiness knobs of a spec, in reporting order.
+KNOB_FIELDS = (
+    "string_variant_intensity",
+    "md_drift",
+    "cfd_violation_rate",
+    "null_rate",
+    "duplicate_rate",
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Parameters of one synthetic dirty-data scenario.
+
+    World-shape parameters
+    ----------------------
+    n_entities:
+        Number of real-world entities shared by the two sources.
+    n_satellites:
+        Extra payload relations hanging off *each* source hub (beyond the
+        category/flag relations the target concept needs).
+    satellite_arity:
+        Payload attributes per satellite relation (the relation's arity is
+        this plus one key attribute).
+    fanout:
+        Payload rows per entity in each satellite relation.
+    join_depth:
+        Length of the key chain from the right hub to the flag relation: 1
+        keys the flags directly on the hub, larger values interpose
+        ``join_depth - 1`` link relations, lengthening the join path a
+        definition must traverse.
+    n_categories / p_category / p_flag:
+        Category vocabulary size and the per-entity probabilities of carrying
+        the target category (source A) and the positive flag (source B).
+    n_positives / n_negatives:
+        Upper bounds on the labelled examples returned (fewer when the world
+        does not contain enough entities of the class).
+
+    Dirtiness knobs — all zero makes the dirty instance equal the clean one
+    ------------------------------------------------------------------------
+    string_variant_intensity, md_drift, cfd_violation_rate, null_rate,
+    duplicate_rate:
+        See the module docstring; each lives in ``[0, 1]``.
+
+    Matching machinery
+    ------------------
+    similarity_threshold:
+        The similarity-operator threshold drifted names are validated
+        against at generation time.
+    seed:
+        Master seed; every random decision derives from it.
+    """
+
+    n_entities: int = 120
+    n_satellites: int = 1
+    satellite_arity: int = 2
+    fanout: int = 1
+    join_depth: int = 1
+    n_categories: int = 5
+    p_category: float = 0.5
+    p_flag: float = 0.45
+    n_positives: int = 24
+    n_negatives: int = 48
+    string_variant_intensity: float = 0.0
+    md_drift: float = 0.0
+    cfd_violation_rate: float = 0.0
+    null_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    similarity_threshold: float = 0.65
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_entities < 1:
+            raise ValueError("n_entities must be >= 1")
+        if self.n_satellites < 0:
+            raise ValueError("n_satellites must be >= 0")
+        if self.satellite_arity < 1:
+            raise ValueError("satellite_arity must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.join_depth < 1:
+            raise ValueError("join_depth must be >= 1")
+        if not 2 <= self.n_categories <= len(_CATEGORY_POOL):
+            raise ValueError(f"n_categories must be in [2, {len(_CATEGORY_POOL)}]")
+        for probability_field in ("p_category", "p_flag", *KNOB_FIELDS):
+            value = getattr(self, probability_field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{probability_field} must be in [0, 1], got {value}")
+        if not 0.0 < self.similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in (0, 1]")
+
+    # ------------------------------------------------------------------ #
+    def but(self, **changes) -> "ScenarioSpec":
+        """Return a copy with the given fields changed (sweep helper)."""
+        return replace(self, **changes)
+
+    @property
+    def is_clean(self) -> bool:
+        """Whether every dirtiness knob is zero."""
+        return all(getattr(self, knob) == 0.0 for knob in KNOB_FIELDS)
+
+    def knob_values(self) -> dict[str, float]:
+        return {knob: getattr(self, knob) for knob in KNOB_FIELDS}
+
+    def describe(self) -> str:
+        shape = (
+            f"{self.n_entities} entities, {2 * self.n_satellites + 4 + (self.join_depth - 1)} relations, "
+            f"arity {self.satellite_arity + 1}, fanout {self.fanout}, join depth {self.join_depth}"
+        )
+        knobs = ", ".join(f"{knob}={value:g}" for knob, value in self.knob_values().items() if value)
+        return f"{shape}; {'clean' if self.is_clean else knobs}; seed {self.seed}"
+
+
+@dataclass
+class SyntheticScenario(DirtyDataset):
+    """A generated scenario: a :class:`DirtyDataset` plus its generation record.
+
+    ``clean_database`` (inherited) holds the uncorrupted reference instance,
+    ``spec`` the generating parameters, and ``injected_variants`` every
+    ``(canonical, drifted)`` name pair the generator produced — each pair is
+    guaranteed to clear ``spec.similarity_threshold`` under the composite
+    operator, which is what makes the recoverability invariant testable.
+    """
+
+    spec: ScenarioSpec | None = None
+    injected_variants: tuple[tuple[str, str], ...] = ()
+
+
+# --------------------------------------------------------------------- #
+# schema
+# --------------------------------------------------------------------- #
+def schema_for(spec: ScenarioSpec) -> DatabaseSchema:
+    """The two-source schema the spec describes."""
+    string = AttributeType.STRING
+    relations = [
+        RelationSchema.of("syn_a_entities", [("aid", string), ("name", string)], source="synthA"),
+        RelationSchema.of("syn_a_categories", [("aid", string), ("category", string)], source="synthA"),
+        RelationSchema.of("syn_b_entities", [("bid", string), ("name", string)], source="synthB"),
+    ]
+    key = "bid"
+    for depth in range(1, spec.join_depth):
+        relations.append(
+            RelationSchema.of(f"syn_b_link{depth}", [(key, string), (f"k{depth}", string)], source="synthB")
+        )
+        key = f"k{depth}"
+    relations.append(RelationSchema.of("syn_b_flags", [(key, string), ("flag", string)], source="synthB"))
+    for satellite in range(spec.n_satellites):
+        payload = [(f"p{position}", string) for position in range(spec.satellite_arity)]
+        relations.append(
+            RelationSchema.of(f"syn_a_sat{satellite}", [("aid", string), *payload], source="synthA")
+        )
+        relations.append(
+            RelationSchema.of(f"syn_b_sat{satellite}", [("bid", string), *payload], source="synthB")
+        )
+    return DatabaseSchema.of(*relations)
+
+
+def target_schema() -> RelationSchema:
+    return RelationSchema.of("syn_target", [("aid", AttributeType.STRING)], source="synthA")
+
+
+def _flag_key_attribute(spec: ScenarioSpec) -> str:
+    return "bid" if spec.join_depth == 1 else f"k{spec.join_depth - 1}"
+
+
+def _matching_dependencies() -> list[MatchingDependency]:
+    return [MatchingDependency.simple("md_syn_names", "syn_a_entities", "name", "syn_b_entities", "name")]
+
+
+def _conditional_dependencies(spec: ScenarioSpec) -> list[ConditionalFunctionalDependency]:
+    return [
+        ConditionalFunctionalDependency.fd("cfd_syn_a_name", "syn_a_entities", ["aid"], "name"),
+        ConditionalFunctionalDependency.fd("cfd_syn_a_category", "syn_a_categories", ["aid"], "category"),
+        ConditionalFunctionalDependency.fd("cfd_syn_b_flag", "syn_b_flags", [_flag_key_attribute(spec)], "flag"),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# the synthesised world
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class _Entity:
+    index: int
+    aid: str
+    bid: str
+    name: str
+    category: str
+    flag: str
+    link_keys: tuple[str, ...]
+    payloads: tuple[tuple[tuple[str, ...], ...], ...]  # [satellite][fanout row][attribute]
+
+    @property
+    def is_positive(self) -> bool:
+        return self.category == TARGET_CATEGORY and self.flag == POSITIVE_FLAG
+
+
+def _synthesize_entities(spec: ScenarioSpec, rng: random.Random) -> list[_Entity]:
+    entity_names = names.distinct_values(rng, names.movie_title, spec.n_entities)
+    categories = _CATEGORY_POOL[: spec.n_categories]
+    entities: list[_Entity] = []
+    for index in range(spec.n_entities):
+        category = (
+            TARGET_CATEGORY if rng.random() < spec.p_category else rng.choice(categories[1:])
+        )
+        flag = POSITIVE_FLAG if rng.random() < spec.p_flag else NEGATIVE_FLAG
+        link_keys = tuple(f"k{depth}_{index:05d}" for depth in range(1, spec.join_depth))
+        payloads = tuple(
+            tuple(
+                tuple(names.movie_title(rng) for _ in range(spec.satellite_arity))
+                for _ in range(spec.fanout)
+            )
+            for _ in range(spec.n_satellites)
+        )
+        entities.append(
+            _Entity(
+                index=index,
+                aid=f"a{index:05d}",
+                bid=f"b{index:05d}",
+                name=entity_names[index],
+                category=category,
+                flag=flag,
+                link_keys=link_keys,
+                payloads=payloads,
+            )
+        )
+    return entities
+
+
+# --------------------------------------------------------------------- #
+# cell-keyed corruption
+# --------------------------------------------------------------------- #
+def _cell_rng(seed: int, *key: object) -> random.Random:
+    """A private RNG for one corruption decision.
+
+    Seeding :class:`random.Random` with a string hashes it through SHA-512,
+    which is stable across processes (unlike ``hash()`` on strings) — the
+    foundation of the generator's determinism and knob monotonicity.
+    """
+    return random.Random("|".join(str(part) for part in (seed, *key)))
+
+
+def _similar_variant(
+    value: str, rng: random.Random, operator: SimilarityOperator, attempts: int = 8
+) -> str:
+    """A differently-rendered variant of *value* that still clears the ``≈`` threshold.
+
+    Returns *value* unchanged when no attempt clears the threshold, so every
+    variant the generator actually injects is recoverable by construction.
+    """
+    for _ in range(attempts):
+        candidate = string_variant(value, rng, intensity=1.0)
+        if candidate != value and operator.score(value, candidate) >= operator.threshold:
+            return candidate
+    return value
+
+
+class _Corruptor:
+    """Applies the spec's dirtiness knobs cell by cell and records MD variants."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.operator = SimilarityOperator(threshold=spec.similarity_threshold)
+        self.injected_variants: list[tuple[str, str]] = []
+
+    def _fires(self, rate: float, rng: random.Random) -> bool:
+        return rng.random() < rate
+
+    def drifted_name(self, entity: _Entity) -> str:
+        rng = _cell_rng(self.spec.seed, "md", entity.index)
+        if not self._fires(self.spec.md_drift, rng):
+            return entity.name
+        variant = _similar_variant(entity.name, rng, self.operator)
+        if variant != entity.name:
+            self.injected_variants.append((entity.name, variant))
+        return variant
+
+    def payload_cell(self, entity: _Entity, source: str, satellite: int, row: int, position: int) -> object:
+        value: object = entity.payloads[satellite][row][position]
+        null_rng = _cell_rng(self.spec.seed, "null", source, satellite, entity.index, row, position)
+        if self._fires(self.spec.null_rate, null_rng):
+            return None
+        if source == "b":
+            noise_rng = _cell_rng(self.spec.seed, "noise", satellite, entity.index, row, position)
+            if self._fires(self.spec.string_variant_intensity, noise_rng):
+                value = string_variant(str(value), noise_rng, intensity=1.0)
+        return value
+
+    def duplicate_name(self, entity: _Entity) -> str | None:
+        """The drifted name of the entity's right-source duplicate, or None."""
+        rng = _cell_rng(self.spec.seed, "dup", entity.index)
+        if not self._fires(self.spec.duplicate_rate, rng):
+            return None
+        variant = _similar_variant(entity.name, rng, self.operator)
+        if variant != entity.name:
+            self.injected_variants.append((entity.name, variant))
+        return variant
+
+
+# --------------------------------------------------------------------- #
+# population
+# --------------------------------------------------------------------- #
+def _populate(
+    spec: ScenarioSpec,
+    database: DatabaseInstance,
+    entities: list[_Entity],
+    corruptor: _Corruptor | None,
+) -> None:
+    """Insert every entity; with a corruptor the dirty renderings are used.
+
+    The clean and dirty instances run through this same loop so that at
+    all-zero knobs they come out byte-identical, insertion order included.
+    """
+    for entity in entities:
+        database.insert("syn_a_entities", (entity.aid, entity.name))
+        database.insert("syn_a_categories", (entity.aid, entity.category))
+        b_name = corruptor.drifted_name(entity) if corruptor else entity.name
+        database.insert("syn_b_entities", (entity.bid, b_name))
+        chain = (entity.bid, *entity.link_keys)
+        for depth in range(1, spec.join_depth):
+            database.insert(f"syn_b_link{depth}", (chain[depth - 1], chain[depth]))
+        database.insert("syn_b_flags", (chain[-1], entity.flag))
+        for satellite in range(spec.n_satellites):
+            for row in range(spec.fanout):
+                clean_payload = entity.payloads[satellite][row]
+                a_values = (
+                    tuple(
+                        corruptor.payload_cell(entity, "a", satellite, row, position)
+                        for position in range(spec.satellite_arity)
+                    )
+                    if corruptor
+                    else clean_payload
+                )
+                b_values = (
+                    tuple(
+                        corruptor.payload_cell(entity, "b", satellite, row, position)
+                        for position in range(spec.satellite_arity)
+                    )
+                    if corruptor
+                    else clean_payload
+                )
+                database.insert(f"syn_a_sat{satellite}", (entity.aid, *a_values))
+                database.insert(f"syn_b_sat{satellite}", (entity.bid, *b_values))
+
+
+def _inject_cell_keyed_cfd_violations(
+    spec: ScenarioSpec,
+    dirty: DatabaseInstance,
+    clean: DatabaseInstance,
+    cfds: list[ConditionalFunctionalDependency],
+) -> DatabaseInstance:
+    """Add conflicting duplicates with one private RNG per candidate row.
+
+    Every *original-world* row of a constrained relation (the first
+    ``|clean R|`` rows — duplicate-knob rows are never victims) decides for
+    itself, keyed on ``(seed, "cfd", relation, row)``, whether it receives a
+    conflicting duplicate, and draws the wrong right-hand-side value from the
+    clean instance's active domain.  Keeping both the decision and the draw
+    independent of every other knob is what makes ``cfd_violation_rate``
+    honour the module's monotonicity/independence contract.
+    """
+    if spec.cfd_violation_rate == 0.0:
+        return dirty
+    extra_rows: dict[str, list[Tuple]] = {}
+    for cfd in cfds:
+        relation = dirty.relation(cfd.relation)
+        schema = relation.schema
+        clean_domain = sorted(
+            {str(value) for value in clean.relation(cfd.relation).distinct_values(cfd.rhs) if value is not None}
+        )
+        original_row_count = len(clean.relation(cfd.relation))
+        for row in range(original_row_count):
+            rng = _cell_rng(spec.seed, "cfd", cfd.relation, row)
+            if rng.random() >= spec.cfd_violation_rate / 2:
+                continue
+            victim = relation.tuple_at(row)
+            wrong_value = corrupted_value(victim.value_of(schema, cfd.rhs), clean_domain, rng)
+            extra_rows.setdefault(cfd.relation, []).append(victim.replace(schema, cfd.rhs, wrong_value))
+    return dirty.with_rows(extra_rows)
+
+
+def _insert_duplicates(
+    spec: ScenarioSpec,
+    database: DatabaseInstance,
+    entities: list[_Entity],
+    corruptor: _Corruptor,
+) -> None:
+    """Re-insert a fraction of entities into the right source under fresh keys."""
+    for entity in entities:
+        duplicate_name = corruptor.duplicate_name(entity)
+        if duplicate_name is None:
+            continue
+        duplicate_bid = f"{entity.bid}d"
+        database.insert("syn_b_entities", (duplicate_bid, duplicate_name))
+        chain = (duplicate_bid, *(f"{key}d" for key in entity.link_keys))
+        for depth in range(1, spec.join_depth):
+            database.insert(f"syn_b_link{depth}", (chain[depth - 1], chain[depth]))
+        database.insert("syn_b_flags", (chain[-1], entity.flag))
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+def generate(spec: ScenarioSpec | None = None, **kwargs) -> SyntheticScenario:
+    """Generate the scenario *spec* describes (keyword arguments override fields).
+
+    Accepts either a ready :class:`ScenarioSpec`, plain keyword arguments
+    (forwarded to the spec constructor — this is the form the
+    :mod:`repro.data.registry` ``synthetic`` entry uses), or both.
+    """
+    if spec is None:
+        spec = ScenarioSpec(**kwargs)
+    elif kwargs:
+        spec = spec.but(**kwargs)
+
+    world_rng = random.Random(spec.seed)
+    entities = _synthesize_entities(spec, world_rng)
+
+    clean = DatabaseInstance(schema_for(spec))
+    _populate(spec, clean, entities, corruptor=None)
+
+    corruptor = _Corruptor(spec)
+    dirty = DatabaseInstance(schema_for(spec))
+    _populate(spec, dirty, entities, corruptor)
+    _insert_duplicates(spec, dirty, entities, corruptor)
+    cfds = _conditional_dependencies(spec)
+    dirty = _inject_cell_keyed_cfd_violations(spec, dirty, clean, cfds)
+
+    positives = [entity for entity in entities if entity.is_positive]
+    negatives = [entity for entity in entities if not entity.is_positive]
+    world_rng.shuffle(positives)
+    world_rng.shuffle(negatives)
+    examples = ExampleSet.of(
+        [(entity.aid,) for entity in positives[: spec.n_positives]],
+        [(entity.aid,) for entity in negatives[: spec.n_negatives]],
+    )
+
+    return SyntheticScenario(
+        name=f"synthetic(seed={spec.seed})",
+        database=dirty,
+        target=target_schema(),
+        examples=examples,
+        mds=_matching_dependencies(),
+        cfds=cfds,
+        constant_attributes=frozenset({("syn_a_categories", "category"), ("syn_b_flags", "flag")}),
+        target_source="synthA",
+        description=f"Parametric synthetic dirty scenario: {spec.describe()}",
+        clean_database=clean,
+        spec=spec,
+        injected_variants=tuple(corruptor.injected_variants),
+    )

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable, Iterator, Mapping
 
 from .relation import RelationInstance
@@ -113,6 +114,29 @@ class DatabaseInstance:
         for relation_name, relation_rows in rows.items():
             clone.insert_many(relation_name, relation_rows)
         return clone
+
+    # ------------------------------------------------------------------ #
+    # content identity
+    # ------------------------------------------------------------------ #
+    def content_fingerprint(self) -> str:
+        """Deterministic digest of the instance's full contents.
+
+        Two instances share a fingerprint iff every relation holds the same
+        tuples in the same insertion order, so the digest witnesses the
+        byte-identical reproducibility the scenario generator promises for a
+        fixed seed.  Relations are visited in sorted-name order, making the
+        digest independent of schema declaration order.
+        """
+        digest = hashlib.sha256()
+        for name in sorted(self._relations):
+            digest.update(name.encode("utf-8"))
+            for tup in self._relations[name]:
+                digest.update(repr(tup.values).encode("utf-8"))
+        return digest.hexdigest()
+
+    def content_equals(self, other: "DatabaseInstance") -> bool:
+        """Whether both instances store exactly the same tuples (order included)."""
+        return self.content_fingerprint() == other.content_fingerprint()
 
     # ------------------------------------------------------------------ #
     # reporting

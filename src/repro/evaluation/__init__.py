@@ -4,9 +4,13 @@ from .cross_validation import Fold, evaluate_on_split, stratified_folds, train_t
 from .experiments import (
     EvaluationResult,
     ExperimentRow,
+    ScenarioOutcome,
+    ScenarioSpec,
     evaluate_learner,
+    expand_scenario_grid,
     run_figure1_examples,
     run_figure1_sample_size,
+    run_scenario_grid,
     run_table4,
     run_table5,
     run_table6,
@@ -21,10 +25,13 @@ __all__ = [
     "EvaluationResult",
     "ExperimentRow",
     "Fold",
+    "ScenarioOutcome",
+    "ScenarioSpec",
     "Stopwatch",
     "confusion",
     "evaluate_learner",
     "evaluate_on_split",
+    "expand_scenario_grid",
     "f1_score",
     "format_rows",
     "format_series",
@@ -33,6 +40,7 @@ __all__ = [
     "recall_score",
     "run_figure1_examples",
     "run_figure1_sample_size",
+    "run_scenario_grid",
     "run_table4",
     "run_table5",
     "run_table6",

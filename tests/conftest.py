@@ -8,12 +8,29 @@ own even smaller inputs; these fixtures serve the integration tests.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.constraints import ConditionalFunctionalDependency, MatchingDependency
 from repro.core import DLearnConfig, ExampleSet, LearningProblem
 from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
 from repro.similarity import SimilarityOperator
+
+# Hypothesis profiles: "ci" (the default) pins a fixed derandomised seed and
+# disables the wall-clock deadline so property tests are reproducible and
+# never flake on slow runners; "dev" keeps Hypothesis' random exploration for
+# local bug-hunting.  Select with HYPOTHESIS_PROFILE=dev.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

@@ -1,0 +1,111 @@
+"""Property-based tests for the corruption primitives.
+
+The synthetic scenario generator leans on three contracts of
+:mod:`repro.data.corruption`:
+
+* ``intensity=0`` is the identity — no draw may change the value;
+* once the intensity draw fires, the returned rendering *differs* from the
+  input, for any input (including letter-free strings like ``"2001"`` whose
+  casing fallback used to be a no-op);
+* everything is deterministic under a fixed RNG seed;
+* :func:`inject_cfd_violations` adds exactly the conflicting-duplicate count
+  its documented formula promises for the requested rate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints import ConditionalFunctionalDependency, violation_rate
+from repro.data.corruption import inject_cfd_violations, name_variant, string_variant
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
+
+TEXT = st.text(min_size=0, max_size=40)
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+YEARS = st.none() | st.integers(min_value=1900, max_value=2030)
+
+
+class TestStringVariantProperties:
+    @given(value=TEXT, seed=SEEDS, year=YEARS)
+    def test_zero_intensity_is_the_identity(self, value, seed, year):
+        assert string_variant(value, random.Random(seed), year=year, intensity=0.0) == value
+
+    @given(value=TEXT, seed=SEEDS, year=YEARS)
+    def test_full_intensity_always_changes_the_rendering(self, value, seed, year):
+        assert string_variant(value, random.Random(seed), year=year, intensity=1.0) != value
+
+    @given(value=TEXT, seed=SEEDS, year=YEARS, intensity=st.floats(0.0, 1.0))
+    def test_deterministic_under_a_fixed_seed(self, value, seed, year, intensity):
+        first = string_variant(value, random.Random(seed), year=year, intensity=intensity)
+        second = string_variant(value, random.Random(seed), year=year, intensity=intensity)
+        assert first == second
+
+    @pytest.mark.parametrize("value", ["2001", "42", "9-11", "...", ""])
+    def test_letter_free_strings_are_still_perturbed(self, value):
+        """Regression: the casing fallback was a no-op for letter-free strings."""
+        for seed in range(20):
+            assert string_variant(value, random.Random(seed), intensity=1.0) != value
+
+
+class TestNameVariantProperties:
+    @given(value=TEXT, seed=SEEDS)
+    def test_zero_intensity_is_the_identity(self, value, seed):
+        assert name_variant(value, random.Random(seed), intensity=0.0) == value
+
+    @given(value=TEXT, seed=SEEDS, intensity=st.floats(0.0, 1.0))
+    def test_deterministic_under_a_fixed_seed(self, value, seed, intensity):
+        first = name_variant(value, random.Random(seed), intensity=intensity)
+        second = name_variant(value, random.Random(seed), intensity=intensity)
+        assert first == second
+
+    @given(seed=SEEDS)
+    def test_two_part_names_get_known_renderings(self, seed):
+        variant = name_variant("Maria Rossi", random.Random(seed), intensity=1.0)
+        assert variant in {"M. Rossi", "Rossi, Maria", "Maria R."}
+
+
+def _instance(n_tuples: int) -> tuple[DatabaseInstance, list[ConditionalFunctionalDependency]]:
+    schema = DatabaseSchema.of(
+        RelationSchema.of("r", [("id", AttributeType.STRING), ("val", AttributeType.STRING)])
+    )
+    database = DatabaseInstance(schema)
+    database.insert_many("r", [(f"id{i}", f"val{i}") for i in range(n_tuples)])
+    cfds = [ConditionalFunctionalDependency.fd("cfd_r", "r", ["id"], "val")]
+    return database, cfds
+
+
+class TestInjectCfdViolations:
+    @given(n_tuples=st.integers(2, 40), rate=st.floats(0.0, 1.0), seed=SEEDS)
+    def test_added_duplicates_match_the_documented_formula(self, n_tuples, rate, seed):
+        database, cfds = _instance(n_tuples)
+        dirty = inject_cfd_violations(database, cfds, rate, seed=seed)
+        expected = 0 if rate == 0.0 else min(max(1, round(rate * n_tuples / 2)), n_tuples)
+        assert dirty.tuple_count() - database.tuple_count() == expected
+
+    @given(n_tuples=st.integers(2, 40), rate=st.floats(0.01, 1.0), seed=SEEDS)
+    def test_every_added_duplicate_actually_violates(self, n_tuples, rate, seed):
+        database, cfds = _instance(n_tuples)
+        dirty = inject_cfd_violations(database, cfds, rate, seed=seed)
+        added = dirty.tuple_count() - database.tuple_count()
+        # Each conflicting duplicate puts itself and its victim in violation.
+        assert violation_rate(dirty, cfds) >= 2 * added / dirty.tuple_count() * 0.99
+
+    @given(n_tuples=st.integers(2, 40), rate=st.floats(0.0, 1.0), seed=SEEDS)
+    def test_deterministic_under_a_fixed_seed(self, n_tuples, rate, seed):
+        database, cfds = _instance(n_tuples)
+        first = inject_cfd_violations(database, cfds, rate, seed=seed)
+        second = inject_cfd_violations(database, cfds, rate, seed=seed)
+        assert first.content_equals(second)
+
+    def test_zero_rate_is_the_identity(self):
+        database, cfds = _instance(10)
+        assert inject_cfd_violations(database, cfds, 0.0, seed=0).content_equals(database)
+
+    def test_rejects_rates_outside_unit_interval(self):
+        database, cfds = _instance(4)
+        with pytest.raises(ValueError):
+            inject_cfd_violations(database, cfds, 1.5)

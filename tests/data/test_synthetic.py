@@ -1,0 +1,172 @@
+"""Unit tests for the parametric synthetic scenario generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import available_datasets, generate
+from repro.data.synthetic import (
+    KNOB_FIELDS,
+    POSITIVE_FLAG,
+    TARGET_CATEGORY,
+    ScenarioSpec,
+    SyntheticScenario,
+    schema_for,
+)
+from repro.evaluation.experiments import expand_scenario_grid
+
+
+class TestRegistryIntegration:
+    def test_synthetic_is_registered(self):
+        assert "synthetic" in available_datasets()
+
+    def test_generate_twice_yields_identical_instances_and_examples(self):
+        first = generate("synthetic", seed=0, n_entities=30)
+        second = generate("synthetic", seed=0, n_entities=30)
+        assert first.database.content_fingerprint() == second.database.content_fingerprint()
+        assert [e.values for e in first.examples.all()] == [e.values for e in second.examples.all()]
+
+    def test_registry_returns_the_rich_scenario_type(self):
+        scenario = generate("synthetic", n_entities=20, md_drift=0.5, seed=1)
+        assert isinstance(scenario, SyntheticScenario)
+        assert scenario.spec.md_drift == 0.5
+        assert scenario.clean_database is not None
+
+    def test_spec_keyword_and_field_overrides_compose(self):
+        scenario = generate("synthetic", spec=ScenarioSpec(n_entities=20), seed=9)
+        assert scenario.spec.n_entities == 20
+        assert scenario.spec.seed == 9
+
+    def test_fixed_datasets_do_not_carry_a_clean_instance(self):
+        dataset = generate("imdb_omdb", n_movies=20, n_positives=2, n_negatives=4, seed=0)
+        with pytest.raises(ValueError):
+            dataset.clean_dataset()
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_entities": 0},
+            {"n_satellites": -1},
+            {"satellite_arity": 0},
+            {"fanout": 0},
+            {"join_depth": 0},
+            {"n_categories": 1},
+            {"md_drift": 1.5},
+            {"null_rate": -0.1},
+            {"similarity_threshold": 0.0},
+        ],
+    )
+    def test_invalid_specs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_is_clean_reflects_the_knobs(self):
+        assert ScenarioSpec().is_clean
+        for knob in KNOB_FIELDS:
+            assert not ScenarioSpec(**{knob: 0.2}).is_clean
+
+    def test_but_returns_an_updated_copy(self):
+        spec = ScenarioSpec()
+        assert spec.but(md_drift=0.3).md_drift == 0.3
+        assert spec.md_drift == 0.0
+
+
+class TestSchemaShape:
+    def test_relation_count_arity_and_sources_follow_the_spec(self):
+        spec = ScenarioSpec(n_satellites=2, satellite_arity=3, join_depth=3)
+        schema = schema_for(spec)
+        # 3 fixed relations + 2 link relations + flags + 2×2 satellites.
+        assert len(schema) == 3 + 2 + 1 + 4
+        assert schema.relation("syn_a_sat0").arity == 4
+        assert schema.relation("syn_b_link1").attribute_names == ("bid", "k1")
+        assert schema.relation("syn_b_link2").attribute_names == ("k1", "k2")
+        assert schema.relation("syn_b_flags").attribute_names == ("k2", "flag")
+        assert {r.source for r in schema} == {"synthA", "synthB"}
+
+    def test_fanout_controls_satellite_rows_per_entity(self):
+        scenario = generate("synthetic", n_entities=15, n_satellites=1, fanout=3, seed=2)
+        assert len(scenario.database.relation("syn_a_sat0")) == 15 * 3
+
+    def test_join_depth_chain_connects_hub_to_flags(self):
+        scenario = generate("synthetic", n_entities=10, join_depth=3, seed=2)
+        database = scenario.database
+        for hub_tuple in database.relation("syn_b_entities"):
+            key = hub_tuple.values[0]
+            for depth in (1, 2):
+                links = database.relation(f"syn_b_link{depth}").select_equal(
+                    database.relation(f"syn_b_link{depth}").schema.attribute_names[0], key
+                )
+                assert len(links) == 1
+                key = links[0].values[1]
+            assert database.relation("syn_b_flags").select_equal("k2", key)
+
+
+class TestLabels:
+    def test_examples_match_the_generating_rule(self):
+        scenario = generate("synthetic", n_entities=40, n_positives=40, n_negatives=40, seed=4)
+        clean = scenario.clean_database
+        for example in scenario.examples.all():
+            aid = example.values[0]
+            category = clean.relation("syn_a_categories").select_equal("aid", aid)[0].values[1]
+            index = int(aid[1:])
+            flag = clean.relation("syn_b_flags").select_equal("bid", f"b{index:05d}")[0].values[1]
+            expected = category == TARGET_CATEGORY and flag == POSITIVE_FLAG
+            assert example.positive == expected, aid
+
+    def test_example_caps_are_respected(self):
+        scenario = generate("synthetic", n_entities=60, n_positives=3, n_negatives=5, seed=4)
+        assert len(scenario.examples.positives) == 3
+        assert len(scenario.examples.negatives) == 5
+
+
+class TestKnobEffects:
+    def test_full_null_rate_nulls_every_payload_cell(self):
+        scenario = generate("synthetic", n_entities=12, null_rate=1.0, seed=5)
+        for satellite in ("syn_a_sat0", "syn_b_sat0"):
+            for tup in scenario.database.relation(satellite):
+                assert all(value is None for value in tup.values[1:])
+        # Keys, names, categories and flags are never nulled.
+        for relation in ("syn_a_entities", "syn_b_entities", "syn_a_categories", "syn_b_flags"):
+            for tup in scenario.database.relation(relation):
+                assert None not in tup.values
+
+    def test_duplicates_only_extend_the_right_source(self):
+        scenario = generate("synthetic", n_entities=12, duplicate_rate=1.0, seed=5)
+        assert len(scenario.database.relation("syn_b_entities")) == 24
+        assert len(scenario.database.relation("syn_a_entities")) == 12
+        assert len(scenario.database.relation("syn_b_flags")) == 24
+
+    def test_md_drift_records_only_real_changes(self):
+        scenario = generate("synthetic", n_entities=40, md_drift=0.5, seed=5)
+        assert scenario.injected_variants
+        for canonical, variant in scenario.injected_variants:
+            assert canonical != variant
+
+    def test_cfd_violations_are_injected_on_constrained_relations(self):
+        from repro.constraints import violation_rate
+
+        scenario = generate("synthetic", n_entities=40, cfd_violation_rate=0.2, seed=5)
+        assert violation_rate(scenario.database, scenario.cfds) > 0.0
+        assert violation_rate(scenario.clean_database, scenario.cfds) == 0.0
+
+
+class TestGridExpansion:
+    def test_cartesian_product_with_stable_order(self):
+        base = ScenarioSpec()
+        specs = expand_scenario_grid(base, {"md_drift": [0.0, 0.5], "null_rate": [0.1, 0.2]})
+        assert [(s.md_drift, s.null_rate) for s in specs] == [
+            (0.0, 0.1),
+            (0.0, 0.2),
+            (0.5, 0.1),
+            (0.5, 0.2),
+        ]
+
+    def test_empty_grid_returns_the_base_spec(self):
+        base = ScenarioSpec(md_drift=0.3)
+        assert expand_scenario_grid(base, None) == [base]
+
+    def test_empty_grid_entry_is_rejected(self):
+        with pytest.raises(ValueError):
+            expand_scenario_grid(ScenarioSpec(), {"md_drift": []})

@@ -1,0 +1,203 @@
+"""Metamorphic correctness harness over the synthetic scenario generator.
+
+Rather than asserting absolute numbers, these tests assert *relations between
+runs* that must hold for any correct generator/learner pair:
+
+* **identity** — at zero dirtiness the dirty instance equals the clean
+  instance byte for byte, and dirty-data learning coincides with clean-data
+  learning;
+* **monotonicity** — raising one dirtiness knob only adds corruptions, and
+  the corruptions injected at a lower rate are a subset of those injected at
+  a higher rate;
+* **reproducibility** — the same spec reproduces byte-identical instances,
+  examples, and learned definitions;
+* **recoverability** — every MD-variant pair the generator injects is found
+  again by the similarity index, so the learner's matching machinery can in
+  principle undo every corruption the generator performed;
+* **robustness** — run end to end through :func:`run_scenario_grid`,
+  learning directly over the dirty instance stays close to the
+  clean-learning ceiling (the paper's headline claim, here on generated
+  worlds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DLearn, DLearnConfig
+from repro.data.synthetic import KNOB_FIELDS, ScenarioSpec, generate
+from repro.evaluation import run_scenario_grid
+from repro.similarity import SimilarityIndex, SimilarityOperator
+
+FAST = DLearnConfig(
+    iterations=3,
+    sample_size=8,
+    top_k_matches=3,
+    generalization_sample=4,
+    max_clauses=4,
+    min_clause_positive_coverage=2,
+    min_clause_precision=0.55,
+    seed=0,
+)
+
+BASE = ScenarioSpec(n_entities=60, n_positives=8, n_negatives=16, seed=13)
+
+DIRTY = BASE.but(
+    string_variant_intensity=0.3,
+    md_drift=0.4,
+    cfd_violation_rate=0.1,
+    null_rate=0.1,
+    duplicate_rate=0.2,
+)
+
+
+def _definition_text(dataset) -> str:
+    model = DLearn(FAST).fit(dataset.problem())
+    return "\n".join(str(clause) for clause in model.definition.clauses)
+
+
+class TestZeroDirtinessIdentity:
+    def test_dirty_instance_equals_clean_instance(self):
+        scenario = generate(BASE)
+        assert scenario.spec.is_clean
+        assert scenario.database.content_equals(scenario.clean_database)
+        assert scenario.injected_variants == ()
+
+    def test_dirty_and_clean_learning_coincide(self):
+        scenario = generate(BASE)
+        dirty_definition = _definition_text(scenario)
+        clean_definition = _definition_text(scenario.clean_dataset())
+        assert dirty_definition == clean_definition
+        assert dirty_definition  # the scenario is learnable at all
+
+
+class TestSeedReproducibility:
+    def test_same_seed_reproduces_instances_and_examples(self):
+        first = generate(DIRTY)
+        second = generate(DIRTY)
+        assert first.database.content_fingerprint() == second.database.content_fingerprint()
+        assert first.clean_database.content_fingerprint() == second.clean_database.content_fingerprint()
+        assert [e.values for e in first.examples.all()] == [e.values for e in second.examples.all()]
+        assert [e.positive for e in first.examples.all()] == [e.positive for e in second.examples.all()]
+        assert first.injected_variants == second.injected_variants
+
+    def test_same_seed_reproduces_learned_definitions(self):
+        assert _definition_text(generate(DIRTY)) == _definition_text(generate(DIRTY))
+
+    def test_different_seeds_produce_different_worlds(self):
+        assert not generate(DIRTY).database.content_equals(generate(DIRTY.but(seed=14)).database)
+
+
+class TestKnobMonotonicity:
+    """Raising one knob only adds corruptions; the others stay untouched."""
+
+    RATES = (0.0, 0.25, 0.5, 1.0)
+
+    def test_world_is_invariant_under_every_knob(self):
+        reference = generate(BASE)
+        for knob in KNOB_FIELDS:
+            scenario = generate(BASE.but(**{knob: 0.6}))
+            assert scenario.clean_database.content_equals(reference.clean_database), knob
+            assert [e.values for e in scenario.examples.all()] == [
+                e.values for e in reference.examples.all()
+            ], knob
+
+    def _drifted_names(self, spec: ScenarioSpec) -> set[tuple[str, str]]:
+        return set(generate(spec).injected_variants)
+
+    def test_md_drift_variants_grow_as_subsets(self):
+        previous: set[tuple[str, str]] = set()
+        for rate in self.RATES:
+            current = self._drifted_names(BASE.but(md_drift=rate))
+            assert previous <= current, f"variants lost when raising md_drift to {rate}"
+            previous = current
+
+    def test_duplicate_variants_grow_as_subsets(self):
+        previous: set[tuple[str, str]] = set()
+        for rate in self.RATES:
+            current = self._drifted_names(BASE.but(duplicate_rate=rate))
+            assert previous <= current, f"variants lost when raising duplicate_rate to {rate}"
+            previous = current
+
+    def _violating_pairs(self, spec: ScenarioSpec) -> set[tuple]:
+        from repro.constraints import find_cfd_violations
+
+        scenario = generate(spec)
+        return {
+            (cfd.name, violation.first.values, violation.second.values)
+            for cfd in scenario.cfds
+            for violation in find_cfd_violations(scenario.database, cfd)
+        }
+
+    def test_cfd_violations_grow_as_subsets(self):
+        previous: set[tuple] = set()
+        for rate in self.RATES:
+            current = self._violating_pairs(BASE.but(cfd_violation_rate=rate))
+            assert previous <= current, f"violations lost when raising cfd_violation_rate to {rate}"
+            previous = current
+
+    def test_cfd_violations_are_independent_of_the_duplicate_knob(self):
+        without_duplicates = self._violating_pairs(BASE.but(cfd_violation_rate=0.3))
+        with_duplicates = self._violating_pairs(BASE.but(cfd_violation_rate=0.3, duplicate_rate=0.5))
+        assert without_duplicates == with_duplicates
+
+    @pytest.mark.parametrize(
+        "knob, measure",
+        [
+            ("null_rate", lambda s: sum(1 for t in s.database.all_tuples() if None in t.values)),
+            ("duplicate_rate", lambda s: s.database.tuple_count()),
+            ("cfd_violation_rate", lambda s: s.database.tuple_count()),
+            ("md_drift", lambda s: len(s.injected_variants)),
+            (
+                "string_variant_intensity",
+                lambda s: sum(
+                    1
+                    for dirty_tuple, clean_tuple in zip(
+                        s.database.relation("syn_b_sat0"), s.clean_database.relation("syn_b_sat0")
+                    )
+                    if dirty_tuple.values != clean_tuple.values
+                ),
+            ),
+        ],
+    )
+    def test_corruption_magnitude_is_monotone(self, knob, measure):
+        magnitudes = [measure(generate(BASE.but(**{knob: rate}))) for rate in self.RATES]
+        assert magnitudes == sorted(magnitudes), f"{knob}: {magnitudes}"
+        assert magnitudes[-1] > magnitudes[0], f"{knob} at 1.0 corrupted nothing"
+
+
+class TestVariantRecoverability:
+    """Every injected MD-variant pair is found again by the similarity index."""
+
+    def test_all_injected_pairs_clear_the_operator_threshold(self):
+        scenario = generate(BASE.but(md_drift=0.6, duplicate_rate=0.3))
+        operator = SimilarityOperator(threshold=scenario.spec.similarity_threshold)
+        assert scenario.injected_variants, "scenario injected no variants to check"
+        for canonical, variant in scenario.injected_variants:
+            assert operator.score(canonical, variant) >= operator.threshold, (canonical, variant)
+
+    def test_all_injected_pairs_are_recoverable_through_the_index(self):
+        scenario = generate(BASE.but(md_drift=0.6, duplicate_rate=0.3))
+        left = [t.values[1] for t in scenario.database.relation("syn_a_entities")]
+        right = [t.values[1] for t in scenario.database.relation("syn_b_entities")]
+        index = SimilarityIndex(
+            operator=SimilarityOperator(threshold=scenario.spec.similarity_threshold), top_k=5
+        ).build(left, right)
+        for canonical, variant in scenario.injected_variants:
+            assert index.are_similar(canonical, variant), (canonical, variant)
+
+
+class TestScenarioGridEndToEnd:
+    def test_dirty_learning_tracks_clean_learning(self):
+        outcomes = run_scenario_grid(
+            BASE.but(n_entities=90, n_positives=10, n_negatives=20, string_variant_intensity=0.3),
+            {"md_drift": [0.25, 0.5]},
+            config=FAST,
+            seed=0,
+        )
+        assert len(outcomes) == 2
+        assert all(not outcome.spec.is_clean for outcome in outcomes)
+        best_gap = min(abs(outcome.f1_gap) for outcome in outcomes)
+        assert best_gap <= 0.05, f"dirty learning strayed from the clean ceiling: {best_gap:.3f}"
+        # The clean ceiling itself must be a real signal, not a degenerate 0.
+        assert max(outcome.clean.f1 for outcome in outcomes) > 0.5
