@@ -1,0 +1,208 @@
+"""Per-example vs batched multi-example saturation on a synthetic scenario.
+
+Bottom-clause saturation — Algorithm 2's relevant-tuple chase — is the half
+of learning cost that PR 1's coverage batching did not touch.  The batched
+engine (:meth:`repro.core.saturation.FrontierChase.relevant_many`) chases all
+examples together: each relation's indexes are walked once per chase depth
+for the union of the active frontiers (via the db layer's multi-value
+probes), value-frequency checks and similarity-partner lookups are shared
+across examples, and the serial reference path
+(:meth:`FrontierChase.relevant_serial`) keeps the original
+probe-per-example-per-value behaviour for comparison.
+
+The script verifies three identities while measuring:
+
+* the batched chase gathers byte-identical relevant tuples (and similarity
+  evidence) for every example;
+* a learner fitted through a batched session learns a byte-identical
+  definition to one fitted through the serial-saturation path;
+* predictions served by the reused learning session equal predictions from a
+  freshly constructed engine (the pre-session prediction path).
+
+Results are printed and, with ``--output``, written as JSON so CI can record
+the perf trajectory (``BENCH_saturation.json``).
+
+Run it directly (pytest does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_saturation_batch.py                 # full size
+    PYTHONPATH=src python benchmarks/bench_saturation_batch.py --quick         # CI smoke
+    PYTHONPATH=src python benchmarks/bench_saturation_batch.py --min-speedup 1.5
+    PYTHONPATH=src python benchmarks/bench_saturation_batch.py --output BENCH_saturation.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core import DLearn, DLearnConfig, LearningSession
+from repro.data.registry import generate
+from repro.data.synthetic import ScenarioSpec
+from repro.evaluation.cross_validation import train_test_split
+
+
+def build_chase_workload(quick: bool):
+    """A dense dirty scenario for saturation timing (chase only, no fit).
+
+    Heavy duplicates and a deep join chain make the chases long and
+    overlapping; a raised ``max_chase_frequency`` lets the shared entity keys
+    drive them.  Bottom clauses this dense are far too large to *learn* from
+    in benchmark time — the end-to-end identity checks run on the learning
+    workload below instead.
+    """
+    if quick:
+        spec = ScenarioSpec(
+            n_entities=40, n_satellites=3, satellite_arity=2, fanout=2, join_depth=2,
+            md_drift=0.5, duplicate_rate=0.7, cfd_violation_rate=0.1,
+            n_positives=20, n_negatives=40, seed=3,
+        )
+        config = DLearnConfig(seed=0, iterations=3, max_chase_frequency=40)
+    else:
+        spec = ScenarioSpec(
+            n_entities=60, n_satellites=4, satellite_arity=3, fanout=3, join_depth=3,
+            md_drift=0.5, duplicate_rate=0.7, cfd_violation_rate=0.1,
+            n_positives=40, n_negatives=80, seed=3,
+        )
+        config = DLearnConfig(seed=0, iterations=4, max_chase_frequency=50)
+    dataset = generate("synthetic", spec=spec)
+    return spec, config, dataset
+
+
+def build_learning_workload(quick: bool):
+    """A learnable scenario for the end-to-end identity checks (with fits).
+
+    Kept at one size for both modes: the fit cost of a scenario is governed
+    by the subsumption searches its bottom clauses trigger, not by the
+    instance size, and this shape is known to learn in seconds.
+    """
+    del quick
+    spec = ScenarioSpec(n_entities=60, md_drift=0.4, cfd_violation_rate=0.1, duplicate_rate=0.1, seed=3)
+    return spec, DLearnConfig(seed=0), generate("synthetic", spec=spec)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="exit non-zero when the batched chase is not at least this much faster",
+    )
+    parser.add_argument("--output", default=None, help="write the results as JSON to this path")
+    parser.add_argument(
+        "--repetitions", type=int, default=5, help="timing repetitions; the minimum is reported"
+    )
+    args = parser.parse_args(argv)
+
+    print(f"building chase workload ({'quick' if args.quick else 'full'})...", flush=True)
+    spec, config, dataset = build_chase_workload(args.quick)
+    problem = dataset.problem()
+    examples = problem.examples.all()
+    print(f"{len(examples)} examples over {problem.database.tuple_count()} tuples "
+          f"in {len(problem.database.schema)} relations")
+
+    # Each repetition uses a fresh session, so no run profits from another's
+    # caches; the minimum over repetitions damps scheduler noise.  The two
+    # paths alternate so ambient slowdowns hit both alike.
+    serial_seconds = float("inf")
+    batched_seconds = float("inf")
+    serial_relevant: list = []
+    batched_relevant: list = []
+    for _ in range(args.repetitions):
+        batched_session = LearningSession(problem, config)
+        started = time.perf_counter()
+        batched_relevant = batched_session.chase.relevant_many(examples)
+        batched_seconds = min(batched_seconds, time.perf_counter() - started)
+
+        serial_session = LearningSession(problem, config, serial_saturation=True)
+        started = time.perf_counter()
+        serial_relevant = [serial_session.chase.relevant_serial(example) for example in examples]
+        serial_seconds = min(serial_seconds, time.perf_counter() - started)
+
+    relevant_identical = all(
+        serial.tuples == batched.tuples and serial.similarity_evidence == batched.similarity_evidence
+        for serial, batched in zip(serial_relevant, batched_relevant)
+    )
+    gathered = sum(len(relevant) for relevant in batched_relevant)
+    speedup = serial_seconds / batched_seconds if batched_seconds else float("inf")
+
+    # --- end-to-end: definitions learned through both paths ------------- #
+    learn_spec, learn_config, learn_dataset = build_learning_workload(args.quick)
+    learn_problem = learn_dataset.problem()
+    learner = DLearn(learn_config)
+    model_batched = learner.fit(learn_problem)
+    model_serial = learner.fit(
+        learn_problem, session=LearningSession(learn_problem, learn_config, serial_saturation=True)
+    )
+    definitions_identical = (
+        [str(clause) for clause in model_batched.clauses]
+        == [str(clause) for clause in model_serial.clauses]
+    )
+
+    # --- prediction: reused session vs fresh construction --------------- #
+    train, test = train_test_split(learn_dataset.examples, test_fraction=0.3, seed=0)
+    model = learner.fit(learn_dataset.problem(examples=train))
+    test_examples = test.all()
+    reused_predictions = model.predict(test_examples)
+    repeat_predictions = model.predict(test_examples)  # second call: memoised session
+    fresh_engine = model.fresh_engine_for(test_examples)
+    fresh_predictions = fresh_engine.batch_predicts_positive(model.definition.clauses, test_examples)
+    predictions_identical = (
+        reused_predictions == fresh_predictions and repeat_predictions == fresh_predictions
+    )
+
+    print(f"serial  : {serial_seconds:8.3f}s  ({gathered} relevant tuples gathered)")
+    print(f"batched : {batched_seconds:8.3f}s")
+    print(f"speedup : {speedup:8.2f}x")
+    print(f"relevant tuples : {'identical' if relevant_identical else 'MISMATCH'}")
+    print(f"definitions     : {'identical' if definitions_identical else 'MISMATCH'} "
+          f"({len(model_batched.clauses)} clauses)")
+    print(f"predictions     : {'identical' if predictions_identical else 'MISMATCH'} "
+          f"({len(test_examples)} examples, reused session vs fresh engine)")
+
+    if args.output:
+        payload = {
+            "benchmark": "saturation_batch",
+            "mode": "quick" if args.quick else "full",
+            "scenario": {
+                "n_entities": spec.n_entities,
+                "n_satellites": spec.n_satellites,
+                "satellite_arity": spec.satellite_arity,
+                "fanout": spec.fanout,
+                "join_depth": spec.join_depth,
+                "duplicate_rate": spec.duplicate_rate,
+                "md_drift": spec.md_drift,
+                "seed": spec.seed,
+            },
+            "examples": len(examples),
+            "relevant_tuples": gathered,
+            "serial_seconds": round(serial_seconds, 6),
+            "batched_seconds": round(batched_seconds, 6),
+            "speedup": round(speedup, 3),
+            "relevant_identical": relevant_identical,
+            "definitions_identical": definitions_identical,
+            "predictions_identical": predictions_identical,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if not (relevant_identical and definitions_identical and predictions_identical):
+        print("FAIL: batched and per-example paths disagree", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required {args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

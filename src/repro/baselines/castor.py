@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from ..core.config import DLearnConfig
 from ..core.dlearn import DLearn, LearnedModel
 from ..core.problem import LearningProblem
+from ..core.session import DatabasePreparation
 from .entity_resolution import resolve_entities
 
 __all__ = ["CastorNoMD", "CastorExact", "CastorClean"]
@@ -45,10 +46,12 @@ class CastorNoMD:
 
     name = "Castor-NoMD"
 
-    def fit(self, problem: LearningProblem) -> LearnedModel:
+    def fit(
+        self, problem: LearningProblem, *, preparation: DatabasePreparation | None = None
+    ) -> LearnedModel:
         restrict = frozenset({self.target_source}) if self.target_source else None
         config = self.config.but(use_mds=False, use_cfds=False, restrict_sources=restrict)
-        return DLearn(config).fit(_without_constraints(problem))
+        return DLearn(config).fit(_without_constraints(problem), preparation=preparation)
 
 
 @dataclass
@@ -59,9 +62,11 @@ class CastorExact:
 
     name = "Castor-Exact"
 
-    def fit(self, problem: LearningProblem) -> LearnedModel:
+    def fit(
+        self, problem: LearningProblem, *, preparation: DatabasePreparation | None = None
+    ) -> LearnedModel:
         config = self.config.but(use_mds=True, use_cfds=False, exact_match_only=True)
-        return DLearn(config).fit(problem.with_constraints(cfds=[]))
+        return DLearn(config).fit(problem.with_constraints(cfds=[]), preparation=preparation)
 
 
 @dataclass
@@ -72,7 +77,12 @@ class CastorClean:
 
     name = "Castor-Clean"
 
-    def fit(self, problem: LearningProblem) -> LearnedModel:
+    def fit(
+        self, problem: LearningProblem, *, preparation: DatabasePreparation | None = None
+    ) -> LearnedModel:
+        # Entity resolution produces a *new* database instance, so a shared
+        # preparation over the original one cannot be reused here.
+        del preparation
         cleaned_database = resolve_entities(
             problem, top_k=1, threshold=self.config.similarity_threshold
         )

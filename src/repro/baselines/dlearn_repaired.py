@@ -15,6 +15,7 @@ from ..constraints.repairs import minimal_cfd_repair
 from ..core.config import DLearnConfig
 from ..core.dlearn import DLearn, LearnedModel
 from ..core.problem import LearningProblem
+from ..core.session import DatabasePreparation
 
 __all__ = ["DLearnRepaired", "DLearnCFD"]
 
@@ -27,7 +28,12 @@ class DLearnRepaired:
 
     name = "DLearn-Repaired"
 
-    def fit(self, problem: LearningProblem) -> LearnedModel:
+    def fit(
+        self, problem: LearningProblem, *, preparation: DatabasePreparation | None = None
+    ) -> LearnedModel:
+        # The repair produces a *new* database instance; a shared preparation
+        # over the dirty one would answer probes for the wrong tuples.
+        del preparation
         repaired_database = minimal_cfd_repair(problem.database, problem.cfds)
         repaired_problem = problem.with_database(repaired_database).with_constraints(cfds=[])
         config = self.config.but(use_cfds=False)
@@ -42,6 +48,8 @@ class DLearnCFD:
 
     name = "DLearn-CFD"
 
-    def fit(self, problem: LearningProblem) -> LearnedModel:
+    def fit(
+        self, problem: LearningProblem, *, preparation: DatabasePreparation | None = None
+    ) -> LearnedModel:
         config = self.config.but(use_mds=True, use_cfds=True)
-        return DLearn(config).fit(problem)
+        return DLearn(config).fit(problem, preparation=preparation)

@@ -4,12 +4,14 @@ Bottom-clause construction over dirty data, repair-literal machinery,
 generalisation, coverage testing, and the covering-loop learner.
 """
 
-from .bottom_clause import BottomClauseBuilder, RelevantTuples, SimilarityEvidence
+from .bottom_clause import BottomClauseBuilder, ClauseAssembler, RelevantTuples, SimilarityEvidence
 from .config import DLearnConfig
 from .coverage import CoverageEngine
 from .dlearn import DLearn, LearnedModel
 from .generalization import Generalizer, LearnedClause
 from .problem import Example, ExampleSet, LearningProblem
+from .saturation import DatabaseProbeCache, FrontierChase, SaturationCache
+from .session import DatabasePreparation, LearningSession
 from .repair_literals import (
     cfd_lhs_repair_literals,
     cfd_rhs_repair_literals,
@@ -23,17 +25,23 @@ from .scoring import ClauseStats, score_clause
 
 __all__ = [
     "BottomClauseBuilder",
+    "ClauseAssembler",
     "ClauseStats",
     "CoverageEngine",
     "DLearn",
     "DLearnConfig",
+    "DatabasePreparation",
+    "DatabaseProbeCache",
     "Example",
     "ExampleSet",
+    "FrontierChase",
     "Generalizer",
     "LearnedClause",
     "LearnedModel",
     "LearningProblem",
+    "LearningSession",
     "RelevantTuples",
+    "SaturationCache",
     "SimilarityEvidence",
     "cfd_lhs_repair_literals",
     "cfd_rhs_repair_literals",

@@ -16,241 +16,65 @@ covering ``e``:
 The same builder produces *ground* bottom clauses (constants kept in place of
 variables) which coverage testing subsumes learned clauses against
 (Section 4.3).
+
+The work is split between two cooperating components:
+
+* :class:`repro.core.saturation.FrontierChase` gathers the relevant tuples
+  (Algorithm 2, lines 1-12) — for many examples in one batched pass over the
+  database when driven through :meth:`BottomClauseBuilder.gather_relevant_many`;
+* :class:`ClauseAssembler` turns cached
+  :class:`~repro.core.saturation.RelevantTuples` into the (ground) bottom
+  clause (Algorithm 2, line 13).
+
+:class:`BottomClauseBuilder` composes the two behind the interface the rest
+of the system (coverage engine, covering loop, tests) programs against.
 """
 
 from __future__ import annotations
 
-import zlib
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
-from ..constraints.cfds import ConditionalFunctionalDependency
-from ..constraints.mds import MatchingDependency
-from ..db.instance import DatabaseInstance
 from ..db.sampling import Sampler
 from ..db.tuples import Tuple
 from ..logic.atoms import Literal, relation_literal
 from ..logic.clauses import HornClause
-from ..logic.terms import Constant, Term, Variable, VariableFactory
+from ..logic.terms import Constant, Term, VariableFactory
 from ..similarity.index import SimilarityIndex
 from .config import DLearnConfig
 from .problem import Example, LearningProblem
-from .repair_literals import cfd_lhs_repair_literals, cfd_rhs_repair_literals, md_repair_literals
+from .repair_literals import cfd_rhs_repair_literals, md_repair_literals
+from .saturation import FrontierChase, RelevantTuples, SimilarityEvidence
 
-__all__ = ["BottomClauseBuilder", "RelevantTuples", "SimilarityEvidence"]
-
-
-@dataclass(frozen=True, slots=True)
-class SimilarityEvidence:
-    """One approximate match discovered while gathering relevant tuples.
-
-    ``known_value`` was already in the seen-constant set ``M``;
-    ``matched_value`` is the similar value found in ``relation.attribute`` of
-    the matched tuple, licensed by MD ``md_name``.
-    """
-
-    md_name: str
-    known_value: object
-    matched_value: object
+__all__ = ["BottomClauseBuilder", "ClauseAssembler", "RelevantTuples", "SimilarityEvidence"]
 
 
-@dataclass
-class RelevantTuples:
-    """The information relevant to one example (``I_e`` in Algorithm 2)."""
+class ClauseAssembler:
+    """Turns gathered :class:`RelevantTuples` into (ground) bottom clauses.
 
-    tuples: list[Tuple] = field(default_factory=list)
-    similarity_evidence: list[SimilarityEvidence] = field(default_factory=list)
-
-    def __len__(self) -> int:
-        return len(self.tuples)
-
-
-class BottomClauseBuilder:
-    """Builds (ground) bottom clauses for training examples.
+    The assembler is stateless apart from its configuration: given the same
+    relevant tuples it always produces the same clause, so cached chase
+    results can be re-assembled freely (e.g. the variabilised bottom clause
+    and the ground bottom clause of one example share one cache entry).
 
     Parameters
     ----------
     problem:
-        The learning problem (database, target, constraints, examples).
+        The learning problem (schemas, constraints, constant attributes).
     config:
-        Learner configuration; the builder uses ``iterations`` (``d``),
-        ``sample_size``, ``use_mds`` / ``use_cfds`` / ``exact_match_only``
+        Learner configuration; the assembler uses ``use_mds`` / ``use_cfds``
         and ``max_repair_groups_per_clause``.
-    similarity_indexes:
-        Precomputed top-``k_m`` similarity indexes keyed by MD name (from
-        :meth:`repro.core.problem.LearningProblem.build_similarity_indexes`).
-    sampler:
-        Seeded sampler used to bound the number of literals per relation.
+    chase:
+        The frontier chase the tuples came from; consulted for the
+        chaseability test that decides which values act as join keys.
     """
 
-    def __init__(
-        self,
-        problem: LearningProblem,
-        config: DLearnConfig,
-        similarity_indexes: dict[str, SimilarityIndex] | None = None,
-        sampler: Sampler | None = None,
-    ) -> None:
+    def __init__(self, problem: LearningProblem, config: DLearnConfig, chase: FrontierChase) -> None:
         self.problem = problem
         self.config = config
-        self.similarity_indexes = similarity_indexes or {}
-        self.sampler = sampler or Sampler(config.seed)
-        self._relevant_cache: dict[tuple[object, ...], RelevantTuples] = {}
+        self.chase = chase
 
-    # ------------------------------------------------------------------ #
-    # relevant-tuple gathering (Algorithm 2, lines 1-12)
-    # ------------------------------------------------------------------ #
-    def gather_relevant(self, example: Example) -> RelevantTuples:
-        """Collect the tuples connected to *example* by exact or similarity matches.
-
-        Gathering is deterministic per example (the sampling RNG is seeded
-        from the example's values and the configured seed) and cached, so the
-        bottom clause and the ground bottom clause of the same example are
-        built from exactly the same relevant tuples — which is what makes the
-        bottom clause cover its own example (Proposition 4.3) under the
-        subsumption-based coverage test.
-        """
-        if example.values in self._relevant_cache:
-            return self._relevant_cache[example.values]
-        relevant = self._gather_relevant_uncached(example)
-        self._relevant_cache[example.values] = relevant
-        return relevant
-
-    def _example_sampler(self, example: Example) -> Sampler:
-        fingerprint = zlib.crc32(repr(example.values).encode("utf-8"))
-        return Sampler((self.config.seed * 1_000_003 + fingerprint) & 0x7FFFFFFF)
-
-    def _gather_relevant_uncached(self, example: Example) -> RelevantTuples:
-        database = self.problem.database
-        sampler = self._example_sampler(example)
-        target = self.problem.target
-        known_constants: set[object] = set()
-        constants_at: dict[tuple[str, str], set[object]] = {}
-        result = RelevantTuples()
-        seen_tuples: set[Tuple] = set()
-
-        def remember(relation_name: str, attribute_name: str, value: object) -> None:
-            if value is None:
-                return
-            known_constants.add(value)
-            constants_at.setdefault((relation_name, attribute_name), set()).add(value)
-
-        for attribute, value in zip(target.attributes, example.values):
-            remember(target.name, attribute.name, value)
-
-        frontier = {value for value in known_constants if self._chaseable(value)}
-        for _ in range(self.config.iterations):
-            if not frontier:
-                break
-            next_frontier: set[object] = set()
-            for relation in database:
-                if not self._relation_allowed(relation.schema):
-                    continue
-                gathered = self._relevant_in_relation(relation, frontier, constants_at)
-                # De-duplicate tuples reachable along several paths, preferring
-                # the entry that carries similarity evidence (the MD join is
-                # what the clause must be able to express).
-                deduplicated: dict[Tuple, SimilarityEvidence | None] = {}
-                for tup, evidence in gathered:
-                    if tup in seen_tuples:
-                        continue
-                    if evidence is not None or tup not in deduplicated:
-                        deduplicated[tup] = evidence
-                fresh = list(deduplicated.items())
-                sampled = sampler.sample(fresh, self.config.sample_size)
-                for tup, evidence in sampled:
-                    if tup in seen_tuples:
-                        continue
-                    seen_tuples.add(tup)
-                    result.tuples.append(tup)
-                    if evidence is not None:
-                        result.similarity_evidence.append(evidence)
-                    for attribute, value in zip(relation.schema.attributes, tup.values):
-                        if value is not None and value not in known_constants and self._chaseable(value):
-                            next_frontier.add(value)
-                        remember(relation.schema.name, attribute.name, value)
-            frontier = next_frontier
-        return result
-
-    def _chaseable(self, value: object) -> bool:
-        """Should *value* drive lookups and joins?
-
-        Identifiers and textual values drive the chase.  Purely numeric
-        values (years, prices, weights) and values that occur very frequently
-        across the whole database (genre names, countries) connect
-        essentially everything to everything; chasing them would drag
-        unrelated tuples into the clause, so they are neither used for
-        lookups nor allowed to join tuples that were reached independently
-        (see ``DLearnConfig.max_chase_frequency``).  This plays the role of
-        the mode declarations of classic ILP systems.
-        """
-        if not isinstance(value, str):
-            return False
-        limit = self.config.max_chase_frequency
-        if limit is None:
-            return True
-        return self.problem.database.value_frequency(value) <= limit
-
-    def _relation_allowed(self, relation_schema) -> bool:
-        """Source restriction used by the Castor-NoMD baseline (see DLearnConfig)."""
-        allowed = self.config.restrict_sources
-        if allowed is None or relation_schema.source is None:
-            return True
-        return relation_schema.source in allowed
-
-    def _relevant_in_relation(
-        self,
-        relation,
-        frontier: set[object],
-        constants_at: dict[tuple[str, str], set[object]],
-    ) -> list[tuple[Tuple, SimilarityEvidence | None]]:
-        """Tuples of one relation reachable from the frontier constants.
-
-        Each gathered tuple is paired with the similarity evidence that
-        produced it (``None`` for exact matches), so that only tuples
-        surviving the per-relation sampling contribute similarity and repair
-        literals to the clause.
-        """
-        gathered: list[tuple[Tuple, SimilarityEvidence | None]] = [
-            (tup, None) for tup in relation.select_any_attribute(frontier)
-        ]
-
-        if not self.config.use_mds:
-            return gathered
-
-        relation_name = relation.schema.name
-        for md in self.problem.mds:
-            if not md.involves(relation_name):
-                continue
-            other_relation = md.other_relation(relation_name)
-            # Constants known to sit in the MD's premise attribute on the
-            # *other* side drive the similarity search over this relation.
-            to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
-            search_values = constants_at.get((other_relation, from_attribute), set()) & frontier
-            if not search_values:
-                continue
-            index = self.similarity_indexes.get(md.name)
-            for known_value in search_values:
-                for partner in self._partners(index, known_value):
-                    if partner == known_value:
-                        # Exact matches already surfaced through the value index.
-                        continue
-                    evidence = SimilarityEvidence(md.name, known_value, partner)
-                    for tup in relation.select_equal(to_attribute, partner):
-                        gathered.append((tup, evidence))
-        return gathered
-
-    def _partners(self, index: SimilarityIndex | None, value: object) -> list[object]:
-        if self.config.exact_match_only or index is None:
-            # Castor-Exact: MD attributes may be joined, but only on equality;
-            # the exact matches are already found through the value index.
-            return []
-        return index.partners_of(value)
-
-    # ------------------------------------------------------------------ #
-    # clause construction (Algorithm 2, line 13)
-    # ------------------------------------------------------------------ #
-    def build(self, example: Example, *, ground: bool = False) -> HornClause:
-        """Build the (ground) bottom clause for *example*.
+    def assemble(self, example: Example, relevant: RelevantTuples, *, ground: bool = False) -> HornClause:
+        """Build the (ground) bottom clause of *example* from its relevant tuples.
 
         With ``ground=False`` every constant is replaced by a variable except
         the values of the problem's ``constant_attributes`` (categorical
@@ -260,7 +84,6 @@ class BottomClauseBuilder:
         subsumption tests.  Repair-literal replacement variables are fresh
         variables in both cases.
         """
-        relevant = self.gather_relevant(example)
         factory = VariableFactory(prefix="v")
         term_of: dict[object, Term] = {}
         example_values = {value for value in example.values if value is not None}
@@ -275,7 +98,7 @@ class BottomClauseBuilder:
                 return Constant(value)
             if ground:
                 return variable_for(value)
-            if value in example_values or self._chaseable(value):
+            if value in example_values or self.chase.chaseable(value):
                 # Values that drive the chase (and the example's own values)
                 # share one variable across all their occurrences — they are
                 # the clause's join keys.
@@ -367,3 +190,72 @@ class BottomClauseBuilder:
                     literals.extend(cfd_rhs_repair_literals(lhs_pairs, rhs_first, rhs_second, provenance))
                     groups_added += 1
         return literals
+
+
+class BottomClauseBuilder:
+    """Builds (ground) bottom clauses for training examples.
+
+    A thin facade over :class:`~repro.core.saturation.FrontierChase` (tuple
+    gathering, batched across examples) and :class:`ClauseAssembler` (clause
+    construction).  Learning sessions construct the two components themselves
+    so chases can share probe and saturation caches; constructing a builder
+    directly — the historical interface — wires up private ones.
+
+    Parameters
+    ----------
+    problem:
+        The learning problem (database, target, constraints, examples).
+    config:
+        Learner configuration (see the two components for the knobs used).
+    similarity_indexes:
+        Precomputed top-``k_m`` similarity indexes keyed by MD name (from
+        :meth:`repro.core.problem.LearningProblem.build_similarity_indexes`).
+    sampler:
+        Unused; kept for signature compatibility.  Relevant-tuple sampling is
+        seeded per example from the example's values and ``config.seed``, so
+        chase results do not depend on any shared sampler state.
+    chase / assembler:
+        Pre-built components (supplied by :class:`repro.core.session.LearningSession`).
+    """
+
+    def __init__(
+        self,
+        problem: LearningProblem,
+        config: DLearnConfig,
+        similarity_indexes: dict[str, SimilarityIndex] | None = None,
+        sampler: Sampler | None = None,
+        *,
+        chase: FrontierChase | None = None,
+        assembler: ClauseAssembler | None = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config
+        self.similarity_indexes = similarity_indexes or {}
+        self.chase = chase or FrontierChase(problem, config, self.similarity_indexes)
+        self.assembler = assembler or ClauseAssembler(problem, config, self.chase)
+
+    # ------------------------------------------------------------------ #
+    # relevant-tuple gathering (Algorithm 2, lines 1-12)
+    # ------------------------------------------------------------------ #
+    def gather_relevant(self, example: Example) -> RelevantTuples:
+        """Collect the tuples connected to *example* by exact or similarity matches.
+
+        Gathering is deterministic per example (the sampling RNG is seeded
+        from the example's values and the configured seed) and cached, so the
+        bottom clause and the ground bottom clause of the same example are
+        built from exactly the same relevant tuples — which is what makes the
+        bottom clause cover its own example (Proposition 4.3) under the
+        subsumption-based coverage test.
+        """
+        return self.chase.relevant(example)
+
+    def gather_relevant_many(self, examples: Sequence[Example]) -> list[RelevantTuples]:
+        """Gather relevant tuples for many examples in one batched chase."""
+        return self.chase.relevant_many(examples)
+
+    # ------------------------------------------------------------------ #
+    # clause construction (Algorithm 2, line 13)
+    # ------------------------------------------------------------------ #
+    def build(self, example: Example, *, ground: bool = False) -> HornClause:
+        """Build the (ground) bottom clause for *example* (see :meth:`ClauseAssembler.assemble`)."""
+        return self.assembler.assemble(example, self.chase.relevant(example), ground=ground)

@@ -141,6 +141,20 @@ class CoverageEngine:
             self._ground_cache[key] = self.checker.prepare(self.builder.build(example, ground=True))
         return self._ground_cache[key]
 
+    def prepared_grounds(self, examples: Sequence[Example]) -> list[PreparedClause]:
+        """Prepared ground bottom clauses for many examples, saturating in one batch.
+
+        Uncached examples are gathered through the builder's batched
+        multi-example chase (one pass over the database indexes per chase
+        depth) before clause preparation; cached examples are simply looked
+        up.  Every batched entry point funnels through here, so the covering
+        loop, prediction and evaluation all saturate batch-wise.
+        """
+        missing = [example for example in examples if example.values not in self._ground_cache]
+        if missing:
+            self.builder.gather_relevant_many(missing)
+        return [self.prepared_ground(example) for example in examples]
+
     def ground_bottom_clause(self, example: Example) -> HornClause:
         return self.prepared_ground(example).clause
 
@@ -189,9 +203,9 @@ class CoverageEngine:
         if not examples:
             return []
         general = self._as_general(clause)
-        # Ground clauses are built serially: the bottom-clause builder shares
-        # a sampler and caches across examples and is not thread-safe.
-        grounds = [self.prepared_ground(example) for example in examples]
+        # Ground clauses are built on the calling thread (the chase and its
+        # caches are not thread-safe), but saturation runs as one batch.
+        grounds = self.prepared_grounds(examples)
         jobs = self._effective_jobs(len(examples))
         if jobs <= 1:
             return [
@@ -238,7 +252,7 @@ class CoverageEngine:
         """Classify many examples against a whole definition, preparing every clause once."""
         prepared_clauses = [self._as_general(clause) for clause in clauses]
         examples = list(examples)
-        grounds = [self.prepared_ground(example) for example in examples]
+        grounds = self.prepared_grounds(examples)
         jobs = self._effective_jobs(len(examples))
 
         def classify(checker: SubsumptionChecker, ground: PreparedClause) -> bool:

@@ -2,13 +2,17 @@
 
 :class:`DLearn` ties the pieces together (Section 4):
 
-1. build the per-MD similarity indexes (top-``k_m`` matches, Section 5);
+1. open a :class:`~repro.core.session.LearningSession`, which builds the
+   per-MD similarity indexes (top-``k_m`` matches, Section 5) and owns the
+   batched saturation and coverage machinery;
 2. covering loop (Algorithm 1): while uncovered positive examples remain,
    build the bottom clause of one of them (Algorithm 2), generalise it
    (Section 4.2), and accept it into the definition when it meets the minimum
    criterion;
 3. return a :class:`LearnedModel` that can describe the learned definition
-   and classify new tuples of the target relation.
+   and classify new tuples of the target relation — through the *same*
+   session, so prediction and cross-validation test folds reuse the prepared
+   similarity and probe state instead of rebuilding it per call.
 
 The Castor-style baselines in :mod:`repro.baselines` reuse exactly this class
 with different configuration switches, which is what makes the comparisons of
@@ -18,7 +22,7 @@ Section 6 apples-to-apples.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..db.sampling import Sampler
@@ -30,6 +34,7 @@ from .coverage import CoverageEngine
 from .generalization import Generalizer, LearnedClause
 from .problem import Example, ExampleSet, LearningProblem
 from .scoring import ClauseStats
+from .session import DatabasePreparation, LearningSession
 
 __all__ = ["DLearn", "LearnedModel"]
 
@@ -39,11 +44,13 @@ class LearnedModel:
     """The outcome of a learning run.
 
     Holds the learned Horn definition, per-clause training statistics, the
-    configuration and problem it was learned from, and the wall-clock
-    learning time.  ``predict`` classifies fresh tuples of the target
-    relation by rebuilding the similarity/coverage machinery so that unseen
-    values (e.g. test-fold titles) get their own similarity matches — exactly
-    what the paper's 5-fold cross-validation requires.
+    configuration and problem it was learned from, the wall-clock learning
+    time, and the learning session.  ``predict`` classifies fresh tuples of
+    the target relation through a session derived for the evaluation example
+    set: unseen values (e.g. test-fold titles) get their own similarity
+    matches — exactly what the paper's 5-fold cross-validation requires —
+    while everything example-set-independent (pair scoring, database probes)
+    is reused from the training session's preparation.
     """
 
     definition: Definition
@@ -51,6 +58,7 @@ class LearnedModel:
     config: DLearnConfig
     problem: LearningProblem
     learning_time_seconds: float = 0.0
+    session: LearningSession | None = None
 
     @property
     def clauses(self) -> list[HornClause]:
@@ -74,7 +82,9 @@ class LearnedModel:
 
         Runs through the batched coverage API: every clause of the definition
         is prepared once and reused across all examples (and the fan-out
-        honours ``config.n_jobs``).
+        honours ``config.n_jobs``).  With a learning session attached the
+        evaluation engine is memoised per example-value set, so consecutive
+        calls classify through the same prepared indexes and ground clauses.
         """
         if not self.definition:
             return [False for _ in examples]
@@ -82,6 +92,17 @@ class LearnedModel:
         return engine.batch_predicts_positive(self.definition.clauses, examples)
 
     def _engine_for(self, examples: Sequence[Example]) -> CoverageEngine:
+        if self.session is not None:
+            return self.session.evaluation_session(examples).engine
+        return self.fresh_engine_for(examples)
+
+    def fresh_engine_for(self, examples: Sequence[Example]) -> CoverageEngine:
+        """A coverage engine built from scratch for *examples*.
+
+        The pre-session prediction path, kept as the reference the reused
+        session is validated against: its verdicts must be identical to the
+        session path's (tests and ``bench_saturation_batch.py`` assert this).
+        """
         evaluation_problem = self.problem.with_examples(
             ExampleSet(
                 positives=[e for e in examples if e.positive],
@@ -108,26 +129,48 @@ class DLearn:
         self.config = config or DLearnConfig()
 
     # ------------------------------------------------------------------ #
-    def fit(self, problem: LearningProblem) -> LearnedModel:
-        """Learn a Horn definition of the problem's target relation (Algorithm 1)."""
+    def session(
+        self, problem: LearningProblem, *, preparation: DatabasePreparation | None = None
+    ) -> LearningSession:
+        """Open a learning session for *problem* (sharing *preparation* when given)."""
+        return LearningSession(problem, self.config, preparation=preparation)
+
+    def fit(
+        self,
+        problem: LearningProblem,
+        *,
+        session: LearningSession | None = None,
+        preparation: DatabasePreparation | None = None,
+    ) -> LearnedModel:
+        """Learn a Horn definition of the problem's target relation (Algorithm 1).
+
+        ``preparation`` shares example-set-independent prepared state (index
+        scoring, database probes) with other fits over the same database
+        instance — cross-validation folds, scenario-grid cells.  ``session``
+        supplies a fully prepared session (it must be over *problem* with
+        this learner's config); otherwise one is opened here.  The returned
+        model keeps the session for prediction-time reuse.
+        """
         config = self.config
         started = time.perf_counter()
 
-        indexes = (
-            problem.build_similarity_indexes(top_k=config.top_k_matches, threshold=config.similarity_threshold)
-            if config.use_mds
-            else {}
-        )
-        sampler = Sampler(config.seed)
-        builder = BottomClauseBuilder(problem, config, indexes, sampler)
-        engine = CoverageEngine(builder, config, SubsumptionChecker())
-        generalizer = Generalizer(engine, config, sampler)
+        if session is None:
+            session = self.session(problem, preparation=preparation)
+        builder = session.builder
+        engine = session.engine
+        generalizer = session.generalizer
 
         positives = list(problem.examples.positives)
         negatives = list(problem.examples.negatives)
         uncovered = list(positives)
         definition = Definition(problem.target_name)
         clause_stats: list[ClauseStats] = []
+
+        if uncovered:
+            # Saturate every training example in one batched chase up front;
+            # all later bottom-clause and ground-clause requests hit the
+            # session's saturation cache.
+            session.warm_saturation(positives + negatives)
 
         while uncovered and len(definition) < config.max_clauses:
             seed = uncovered[0]
@@ -154,4 +197,5 @@ class DLearn:
             config=config,
             problem=problem,
             learning_time_seconds=elapsed,
+            session=session,
         )

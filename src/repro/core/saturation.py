@@ -1,0 +1,564 @@
+"""Relevant-tuple saturation (Algorithm 2, lines 1-12), batched across examples.
+
+The frontier chase gathers the tuples of the database that are *relevant* to a
+training example — reachable from the example's constants through exact value
+matches or through approximate matches licensed by the matching dependencies.
+PR 1 batched coverage testing; this module batches the other half of learning
+cost, the saturation chase itself:
+
+* :class:`FrontierChase.relevant_many` drives the chase for **many examples in
+  one pass** over the database.  At every chase depth the union of all
+  examples' frontier values is resolved through the multi-value index probes
+  of the db layer (:meth:`repro.db.relation.RelationInstance.rows_with_values`
+  / ``select_equal_many``), so each relation's indexes are walked once per
+  depth instead of once per example, and examples whose chases overlap — the
+  common case, since positive examples of one target reach the same entity
+  neighbourhood — share every probe result.
+
+* :class:`DatabaseProbeCache` memoises the pure index probes (value rows,
+  equality selections, global value frequencies) for the lifetime of a
+  learning session, so prediction, cross-validation folds and scenario-grid
+  cells over the same database instance never repeat a probe.
+
+* :class:`SaturationCache` holds the finished :class:`RelevantTuples` per
+  example, shared by bottom-clause and ground-bottom-clause assembly — which
+  is what makes a bottom clause cover its own example (Proposition 4.3) under
+  the subsumption-based coverage test.
+
+Per-example results are bit-identical to the pre-batching per-example path
+(kept as :meth:`FrontierChase.relevant_serial` for tests and benchmarks): the
+chase state of every example is advanced by exactly the same code, only the
+probes are answered from the shared prefetched caches.  In particular the
+per-example sampling RNG is still seeded from the example's values alone, so
+batch composition cannot change what any example gathers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..db.instance import DatabaseInstance
+from ..db.relation import RelationInstance
+from ..db.sampling import Sampler
+from ..db.tuples import Tuple
+from ..similarity.index import SimilarityIndex
+from .config import DLearnConfig
+from .problem import Example, LearningProblem
+
+__all__ = [
+    "DatabaseProbeCache",
+    "FrontierChase",
+    "RelevantTuples",
+    "SaturationCache",
+    "SimilarityEvidence",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SimilarityEvidence:
+    """One approximate match discovered while gathering relevant tuples.
+
+    ``known_value`` was already in the seen-constant set ``M``;
+    ``matched_value`` is the similar value found in ``relation.attribute`` of
+    the matched tuple, licensed by MD ``md_name``.
+    """
+
+    md_name: str
+    known_value: object
+    matched_value: object
+
+
+@dataclass
+class RelevantTuples:
+    """The information relevant to one example (``I_e`` in Algorithm 2)."""
+
+    tuples: list[Tuple] = field(default_factory=list)
+    similarity_evidence: list[SimilarityEvidence] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+class SaturationCache:
+    """Finished chase results keyed by example values.
+
+    Keyed on the example's *values* only: the relevant tuples are reachable
+    from those values regardless of the example's label, so an example that
+    appears with both labels shares one entry, and the bottom clause and the
+    ground bottom clause of one example are assembled from exactly the same
+    gathered tuples.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[object, ...], RelevantTuples] = {}
+
+    def get(self, values: tuple[object, ...]) -> RelevantTuples | None:
+        return self._entries.get(values)
+
+    def store(self, values: tuple[object, ...], relevant: RelevantTuples) -> None:
+        self._entries[values] = relevant
+
+    def __contains__(self, values: tuple[object, ...]) -> bool:
+        return values in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DatabaseProbeCache:
+    """Memoised pure index probes over one database instance.
+
+    Every answer is a pure function of the (immutable, insert-only) database,
+    so one cache can back every chase over the instance — the covering loop,
+    prediction, all cross-validation folds.  ``prefetch_*`` fill many entries
+    through the db layer's multi-value probes in one index walk.
+    """
+
+    def __init__(self, database: DatabaseInstance) -> None:
+        self.database = database
+        self._frequency: dict[object, int] = {}
+        #: (relation name, value) → rows; entries are treated as immutable.
+        self._any_rows: dict[tuple[str, object], frozenset[int] | set[int]] = {}
+        self._equal: dict[tuple[str, str, object], tuple[Tuple, ...]] = {}
+
+    # -- global value frequency (drives the chaseability test) ---------- #
+    def value_frequency(self, value: object) -> int:
+        """Number of tuples (across all relations) containing *value*.
+
+        Computed through :meth:`rows_any`, so one walk serves both the
+        chaseability test and the frontier probes of the following depth —
+        by the time a value passes the frequency check, its per-relation row
+        sets are already cached.
+        """
+        cached = self._frequency.get(value)
+        if cached is None:
+            cached = sum(
+                len(self.rows_any(relation, value))
+                for relation in self.database
+                if relation.contains_value(value)
+            )
+            self._frequency[value] = cached
+        return cached
+
+    # -- any-attribute containment probes ------------------------------- #
+    def rows_any(self, relation: RelationInstance, value: object) -> frozenset[int] | set[int]:
+        key = (relation.schema.name, value)
+        cached = self._any_rows.get(key)
+        if cached is None:
+            cached = relation.rows_with_value(value)
+            self._any_rows[key] = cached
+        return cached
+
+    def prefetch_any(self, relation: RelationInstance, values: Iterable[object]) -> None:
+        name = relation.schema.name
+        missing = [value for value in values if (name, value) not in self._any_rows]
+        if not missing:
+            return
+        for value, rows in relation.rows_with_values(missing).items():
+            self._any_rows[(name, value)] = rows
+
+    def any_rows_table(self, relation: RelationInstance, values: Iterable[object]) -> dict[object, frozenset[int] | set[int]]:
+        """Prefetch *values* against *relation* and return the non-empty hits.
+
+        The returned plain dict is the depth-local probe table the batched
+        chase hands to every example: distributing rows per example becomes a
+        direct dictionary lookup instead of a per-(value, relation) cache
+        probe.
+        """
+        self.prefetch_any(relation, values)
+        name = relation.schema.name
+        any_rows = self._any_rows
+        table: dict[object, frozenset[int] | set[int]] = {}
+        for value in values:
+            rows = any_rows[(name, value)]
+            if rows:
+                table[value] = rows
+        return table
+
+    # -- equality selection probes --------------------------------------- #
+    def tuples_equal(self, relation: RelationInstance, attribute: str, value: object) -> tuple[Tuple, ...]:
+        key = (relation.schema.name, attribute, value)
+        cached = self._equal.get(key)
+        if cached is None:
+            cached = tuple(relation.select_equal(attribute, value))
+            self._equal[key] = cached
+        return cached
+
+    def prefetch_equal(self, relation: RelationInstance, attribute: str, values: Iterable[object]) -> None:
+        name = relation.schema.name
+        missing = [value for value in values if (name, attribute, value) not in self._equal]
+        if not missing:
+            return
+        for value, tuples in relation.select_equal_many(attribute, missing).items():
+            self._equal[(name, attribute, value)] = tuple(tuples)
+
+
+class _DirectProbes:
+    """Uncached probe answers — the reference per-example path.
+
+    Interface-compatible with :class:`DatabaseProbeCache`; every call goes
+    straight to the database indexes, exactly as the pre-batching builder did.
+    """
+
+    def __init__(self, database: DatabaseInstance) -> None:
+        self.database = database
+
+    def value_frequency(self, value: object) -> int:
+        return self.database.value_frequency(value)
+
+    def rows_any(self, relation: RelationInstance, value: object) -> set[int]:
+        return relation.rows_with_value(value)
+
+    def tuples_equal(self, relation: RelationInstance, attribute: str, value: object) -> tuple[Tuple, ...]:
+        return tuple(relation.select_equal(attribute, value))
+
+
+class _ChaseState:
+    """Mutable per-example chase state (``M``, ``I_e``, the frontier)."""
+
+    __slots__ = ("example", "sampler", "known_constants", "constants_at", "seen_tuples", "result", "frontier")
+
+    def __init__(self, example: Example, sampler: Sampler) -> None:
+        self.example = example
+        self.sampler = sampler
+        self.known_constants: set[object] = set()
+        self.constants_at: dict[tuple[str, str], set[object]] = {}
+        self.seen_tuples: set[Tuple] = set()
+        self.result = RelevantTuples()
+        self.frontier: set[object] = set()
+
+    def remember(self, relation_name: str, attribute_name: str, value: object) -> None:
+        if value is None:
+            return
+        self.known_constants.add(value)
+        self.constants_at.setdefault((relation_name, attribute_name), set()).add(value)
+
+
+class FrontierChase:
+    """Gathers relevant tuples for one or many examples (Algorithm 2, lines 1-12).
+
+    Parameters
+    ----------
+    problem:
+        The learning problem (database, target, constraints, examples).
+    config:
+        Learner configuration; the chase uses ``iterations`` (``d``),
+        ``sample_size``, ``max_chase_frequency``, ``use_mds`` /
+        ``exact_match_only`` and ``restrict_sources``.
+    similarity_indexes:
+        Precomputed top-``k_m`` similarity indexes keyed by MD name.
+    probes:
+        Shared :class:`DatabaseProbeCache`; created privately when not given.
+        Sessions pass one cache so every chase over the same database reuses
+        probe results.
+    cache:
+        Shared :class:`SaturationCache` of finished results.
+    batched:
+        With ``False`` the chase answers every request through the uncached
+        per-example reference path — the pre-batching behaviour, kept for the
+        saturation benchmark and equivalence tests.
+    """
+
+    def __init__(
+        self,
+        problem: LearningProblem,
+        config: DLearnConfig,
+        similarity_indexes: dict[str, SimilarityIndex] | None = None,
+        *,
+        probes: DatabaseProbeCache | None = None,
+        cache: SaturationCache | None = None,
+        batched: bool = True,
+    ) -> None:
+        self.problem = problem
+        self.config = config
+        self.similarity_indexes = similarity_indexes or {}
+        self.probes = probes or DatabaseProbeCache(problem.database)
+        self.cache = cache or SaturationCache()
+        self.batched = batched
+        self._partner_cache: dict[tuple[str, object], tuple[object, ...]] = {}
+        #: value → chaseability verdict; valid per chase (fixed config limit).
+        self._chaseable_memo: dict[object, bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # public entry points
+    # ------------------------------------------------------------------ #
+    def relevant(self, example: Example) -> RelevantTuples:
+        """The (cached) relevant tuples of one example."""
+        cached = self.cache.get(example.values)
+        if cached is not None:
+            return cached
+        return self.relevant_many([example])[0]
+
+    def relevant_many(self, examples: Sequence[Example]) -> list[RelevantTuples]:
+        """Relevant tuples for many examples through one batched chase.
+
+        Uncached examples are chased together: every depth prefetches the
+        union of the active frontiers through the db layer's multi-value
+        probes, then advances each example's state against the filled cache.
+        Already-cached examples are simply looked up.
+        """
+        pending: dict[tuple[object, ...], Example] = {}
+        for example in examples:
+            if example.values not in self.cache and example.values not in pending:
+                pending[example.values] = example
+        if pending:
+            if self.batched:
+                self._chase_batch(list(pending.values()))
+            else:
+                for example in pending.values():
+                    self.cache.store(example.values, self.relevant_serial(example))
+        results = []
+        for example in examples:
+            cached = self.cache.get(example.values)
+            assert cached is not None
+            results.append(cached)
+        return results
+
+    def relevant_serial(self, example: Example) -> RelevantTuples:
+        """Reference per-example chase without any shared caching.
+
+        Probes go straight to the database indexes and nothing is memoised —
+        the exact cost profile of the pre-batching builder, kept as the
+        baseline that ``benchmarks/bench_saturation_batch.py`` measures
+        against and that equivalence tests compare with.
+        """
+        probes = _DirectProbes(self.problem.database)
+        state = self._new_state(example, probes, memo=None)
+        for _ in range(self.config.iterations):
+            if not state.frontier:
+                break
+            self._advance(state, probes, tables=None, memo=None)
+        return state.result
+
+    def chaseable(self, value: object) -> bool:
+        """Should *value* drive lookups and joins?  (See :meth:`_chaseable`.)"""
+        return self._chaseable(value, self.probes, self._chaseable_memo)
+
+    # ------------------------------------------------------------------ #
+    # the batched chase
+    # ------------------------------------------------------------------ #
+    def _chase_batch(self, examples: list[Example]) -> None:
+        probes = self.probes
+        memo = self._chaseable_memo
+        states = [self._new_state(example, probes, memo) for example in examples]
+        for _ in range(self.config.iterations):
+            active = [state for state in states if state.frontier]
+            if not active:
+                break
+            tables = self._prefetch_depth(active)
+            for state in active:
+                self._advance(state, probes, tables, memo)
+        for state in states:
+            self.cache.store(state.example.values, state.result)
+
+    def _prefetch_depth(self, states: Sequence[_ChaseState]) -> dict[str, dict[object, frozenset[int] | set[int]]]:
+        """Resolve the probes this depth is known to need, one index walk each.
+
+        Exact-match probes: the union of the active frontiers, against every
+        allowed relation — returned as one value→rows table per relation, so
+        distributing rows to examples is a plain dictionary lookup.  MD
+        probes: the union of every example's ``search_values`` *as of depth
+        start*.  Constants recorded midway through the depth (a tuple sampled
+        by an earlier relation putting a frontier value into a premise
+        position) can add search values the prefetch did not see — those fall
+        back to the same shared caches, which compute on miss, so prefetching
+        a depth-start subset is purely an optimisation and never a
+        correctness concern.
+        """
+        union_frontier: set[object] = set()
+        for state in states:
+            union_frontier |= state.frontier
+        database = self.problem.database
+        probe_mds = self.config.use_mds and not self.config.exact_match_only
+        tables: dict[str, dict[object, frozenset[int] | set[int]]] = {}
+        for relation in database:
+            if not self._relation_allowed(relation.schema):
+                continue
+            tables[relation.schema.name] = self.probes.any_rows_table(relation, union_frontier)
+            if not probe_mds:
+                continue
+            relation_name = relation.schema.name
+            for md in self.problem.mds:
+                if not md.involves(relation_name):
+                    continue
+                index = self.similarity_indexes.get(md.name)
+                if index is None:
+                    continue
+                other_relation = md.other_relation(relation_name)
+                to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
+                search_values: set[object] = set()
+                for state in states:
+                    known = state.constants_at.get((other_relation, from_attribute))
+                    if known:
+                        search_values |= known & state.frontier
+                partners_needed: set[object] = set()
+                for value in search_values:
+                    for partner in self._partners(index, md.name, value):
+                        if partner != value:
+                            partners_needed.add(partner)
+                if partners_needed:
+                    self.probes.prefetch_equal(relation, to_attribute, partners_needed)
+        return tables
+
+    # ------------------------------------------------------------------ #
+    # per-example chase mechanics (shared by every path)
+    # ------------------------------------------------------------------ #
+    def _new_state(self, example: Example, probes, memo: dict[object, bool] | None) -> _ChaseState:
+        state = _ChaseState(example, self._example_sampler(example))
+        target = self.problem.target
+        for attribute, value in zip(target.attributes, example.values):
+            state.remember(target.name, attribute.name, value)
+        state.frontier = {value for value in state.known_constants if self._chaseable(value, probes, memo)}
+        return state
+
+    def _example_sampler(self, example: Example) -> Sampler:
+        fingerprint = zlib.crc32(repr(example.values).encode("utf-8"))
+        return Sampler((self.config.seed * 1_000_003 + fingerprint) & 0x7FFFFFFF)
+
+    def _advance(self, state: _ChaseState, probes, tables, memo) -> None:
+        """One depth of Algorithm 2 for one example, identical on every path.
+
+        *tables* is the depth's prefetched per-relation probe table (batched
+        path) or ``None`` (reference path); *memo* the shared chaseability
+        memo or ``None``.  Neither changes what is gathered — only where the
+        answers come from.
+        """
+        next_frontier: set[object] = set()
+        for relation in self.problem.database:
+            if not self._relation_allowed(relation.schema):
+                continue
+            table = tables.get(relation.schema.name) if tables is not None else None
+            gathered = self._relevant_in_relation(relation, state, probes, table)
+            # De-duplicate tuples reachable along several paths, preferring
+            # the entry that carries similarity evidence (the MD join is
+            # what the clause must be able to express).
+            deduplicated: dict[Tuple, SimilarityEvidence | None] = {}
+            for tup, evidence in gathered:
+                if tup in state.seen_tuples:
+                    continue
+                if evidence is not None or tup not in deduplicated:
+                    deduplicated[tup] = evidence
+            fresh = list(deduplicated.items())
+            sampled = state.sampler.sample(fresh, self.config.sample_size)
+            for tup, evidence in sampled:
+                if tup in state.seen_tuples:
+                    continue
+                state.seen_tuples.add(tup)
+                state.result.tuples.append(tup)
+                if evidence is not None:
+                    state.result.similarity_evidence.append(evidence)
+                for attribute, value in zip(relation.schema.attributes, tup.values):
+                    if (
+                        value is not None
+                        and value not in state.known_constants
+                        and self._chaseable(value, probes, memo)
+                    ):
+                        next_frontier.add(value)
+                    state.remember(relation.schema.name, attribute.name, value)
+        state.frontier = next_frontier
+
+    def _relevant_in_relation(
+        self, relation: RelationInstance, state: _ChaseState, probes, table
+    ) -> list[tuple[Tuple, SimilarityEvidence | None]]:
+        """Tuples of one relation reachable from the example's frontier constants.
+
+        Each gathered tuple is paired with the similarity evidence that
+        produced it (``None`` for exact matches), so that only tuples
+        surviving the per-relation sampling contribute similarity and repair
+        literals to the clause.
+        """
+        rows: set[int] = set()
+        if table is not None:
+            for value in state.frontier:
+                value_rows = table.get(value)
+                if value_rows:
+                    rows |= value_rows
+        else:
+            for value in state.frontier:
+                rows |= probes.rows_any(relation, value)
+        gathered: list[tuple[Tuple, SimilarityEvidence | None]] = [
+            (relation.tuple_at(row), None) for row in sorted(rows)
+        ]
+
+        if not self.config.use_mds:
+            return gathered
+
+        relation_name = relation.schema.name
+        for md in self.problem.mds:
+            if not md.involves(relation_name):
+                continue
+            other_relation = md.other_relation(relation_name)
+            # Constants known to sit in the MD's premise attribute on the
+            # *other* side drive the similarity search over this relation.
+            to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
+            search_values = state.constants_at.get((other_relation, from_attribute), set()) & state.frontier
+            if not search_values:
+                continue
+            index = self.similarity_indexes.get(md.name)
+            for known_value in search_values:
+                for partner in self._similarity_partners(index, md.name, known_value, probes):
+                    if partner == known_value:
+                        # Exact matches already surfaced through the value index.
+                        continue
+                    evidence = SimilarityEvidence(md.name, known_value, partner)
+                    for tup in probes.tuples_equal(relation, to_attribute, partner):
+                        gathered.append((tup, evidence))
+        return gathered
+
+    def _similarity_partners(
+        self, index: SimilarityIndex | None, md_name: str, value: object, probes
+    ) -> tuple[object, ...]:
+        if self.config.exact_match_only or index is None:
+            # Castor-Exact: MD attributes may be joined, but only on equality;
+            # the exact matches are already found through the value index.
+            return ()
+        if isinstance(probes, _DirectProbes):
+            # The uncached reference path must not warm (or profit from) the
+            # shared partner cache.
+            return tuple(index.partners_of(value))
+        return self._partners(index, md_name, value)
+
+    def _partners(self, index: SimilarityIndex, md_name: str, value: object) -> tuple[object, ...]:
+        """Cached top-``k_m`` partners (the merge in ``matches_of`` is not free)."""
+        key = (md_name, value)
+        cached = self._partner_cache.get(key)
+        if cached is None:
+            cached = tuple(index.partners_of(value))
+            self._partner_cache[key] = cached
+        return cached
+
+    _MISSING = object()
+
+    def _chaseable(self, value: object, probes, memo: dict[object, bool] | None) -> bool:
+        """Should *value* drive lookups and joins?
+
+        Identifiers and textual values drive the chase.  Purely numeric
+        values (years, prices, weights) and values that occur very frequently
+        across the whole database (genre names, countries) connect
+        essentially everything to everything; chasing them would drag
+        unrelated tuples into the clause, so they are neither used for
+        lookups nor allowed to join tuples that were reached independently
+        (see ``DLearnConfig.max_chase_frequency``).  This plays the role of
+        the mode declarations of classic ILP systems.
+        """
+        if memo is not None:
+            cached = memo.get(value, self._MISSING)
+            if cached is not self._MISSING:
+                return cached
+        if not isinstance(value, str):
+            verdict = False
+        else:
+            limit = self.config.max_chase_frequency
+            verdict = True if limit is None else probes.value_frequency(value) <= limit
+        if memo is not None:
+            memo[value] = verdict
+        return verdict
+
+    def _relation_allowed(self, relation_schema) -> bool:
+        """Source restriction used by the Castor-NoMD baseline (see DLearnConfig)."""
+        allowed = self.config.restrict_sources
+        if allowed is None or relation_schema.source is None:
+            return True
+        return relation_schema.source in allowed

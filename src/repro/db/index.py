@@ -9,30 +9,68 @@ maintains
 * one :class:`ValueIndex` across all attributes (value → (attribute, position)
   pairs), which answers "does this relation mention constant ``a`` anywhere?"
   in O(1).
+
+Both indexes expose multi-value probes (``rows_for_many``) so the batched
+saturation engine can resolve the union of many examples' frontier values in
+one walk over the index instead of one probe per example.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 __all__ = ["AttributeIndex", "ValueIndex"]
 
 
 class AttributeIndex:
-    """Hash index on a single attribute: value → sorted list of row positions."""
+    """Hash index on a single attribute: value → row positions.
+
+    Rows are recorded in insertion order; because row numbers are assigned
+    monotonically, every entry is ascending.  Probes return immutable tuples —
+    entries are frozen lazily on first lookup, so steady-state probing does
+    not copy.
+    """
 
     __slots__ = ("_entries",)
 
     def __init__(self) -> None:
-        self._entries: dict[object, list[int]] = defaultdict(list)
+        # Values map to a list while the entry is still being appended to and
+        # are frozen to a tuple on first probe (insert-mostly, probe-heavy).
+        self._entries: dict[object, list[int] | tuple[int, ...]] = {}
 
     def add(self, value: object, row: int) -> None:
-        self._entries[value].append(row)
+        entry = self._entries.get(value)
+        if entry is None:
+            self._entries[value] = [row]
+        elif type(entry) is tuple:
+            self._entries[value] = [*entry, row]
+        else:
+            entry.append(row)
 
-    def rows_for(self, value: object) -> list[int]:
-        """Row positions whose attribute equals *value* (empty list if none)."""
-        return self._entries.get(value, [])
+    def rows_for(self, value: object) -> tuple[int, ...]:
+        """Row positions whose attribute equals *value*, ascending (empty tuple if none).
+
+        The returned tuple is immutable; callers cannot corrupt the index by
+        mutating a probe result.
+        """
+        entry = self._entries.get(value)
+        if entry is None:
+            return ()
+        if type(entry) is not tuple:
+            entry = tuple(entry)
+            self._entries[value] = entry
+        return entry
+
+    def rows_for_many(self, values: Iterable[object]) -> dict[object, tuple[int, ...]]:
+        """Batch counterpart of :meth:`rows_for`: value → ascending row positions.
+
+        Per-value cost equals :meth:`rows_for` (hash probes, not a scan); the
+        point is the interface — every requested value appears in the result
+        (missing values map to the empty tuple), so batched callers can
+        resolve a whole probe set in one call and distribute rows per value.
+        """
+        return {value: self.rows_for(value) for value in values}
 
     def values(self) -> Iterator[object]:
         return iter(self._entries)
@@ -64,13 +102,32 @@ class ValueIndex:
 
     def rows_for(self, value: object) -> set[int]:
         """All rows in which *value* occurs in any attribute."""
-        return {row for _, row in self._entries.get(value, set())}
+        pairs = self._entries.get(value)
+        if not pairs:
+            return set()
+        return {row for _, row in pairs}
 
     def rows_for_any(self, values: Iterable[object]) -> set[int]:
         rows: set[int] = set()
         for value in values:
             rows |= self.rows_for(value)
         return rows
+
+    def rows_for_many(self, values: Iterable[object]) -> dict[object, frozenset[int]]:
+        """Batch counterpart of :meth:`rows_for`: value → rows containing it anywhere.
+
+        Every requested value appears in the result (missing values map to an
+        empty set).  The batched frontier chase resolves the union of all
+        examples' frontier values through one such call per relation and
+        depth, then shares the per-value results between every example whose
+        frontier contains the value.
+        """
+        result: dict[object, frozenset[int]] = {}
+        empty = frozenset()
+        for value in values:
+            pairs = self._entries.get(value)
+            result[value] = frozenset({row for _, row in pairs}) if pairs else empty
+        return result
 
     def __contains__(self, value: object) -> bool:
         return value in self._entries

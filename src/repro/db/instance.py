@@ -66,6 +66,10 @@ class DatabaseInstance:
     def select_equal(self, relation_name: str, attribute_name: str, value: object) -> list[Tuple]:
         return self.relation(relation_name).select_equal(attribute_name, value)
 
+    def select_equal_many(self, relation_name: str, attribute_name: str, values: Iterable[object]) -> dict[object, list[Tuple]]:
+        """Batched ``σ_{A = v}(R)`` for many values in one call."""
+        return self.relation(relation_name).select_equal_many(attribute_name, values)
+
     def tuples_containing(self, relation_name: str, values: Iterable[object]) -> list[Tuple]:
         """``σ_{A∈M}(R)`` over every attribute of the relation."""
         return self.relation(relation_name).select_any_attribute(values)

@@ -53,11 +53,16 @@ class RelationInstance:
         return tup
 
     def insert_many(self, rows: Iterable[Mapping[str, object] | tuple | list | Tuple], *, deduplicate: bool = False) -> int:
-        count = 0
+        """Insert many rows; returns the number of tuples actually stored.
+
+        With ``deduplicate=True`` rows that were already present (or repeat
+        within *rows*) are skipped, and the returned count reflects only the
+        tuples that entered storage — not the number of rows offered.
+        """
+        before = len(self._tuples)
         for row in rows:
             self.insert(row, deduplicate=deduplicate)
-            count += 1
-        return count
+        return len(self._tuples) - before
 
     # ------------------------------------------------------------------ #
     # access
@@ -86,6 +91,17 @@ class RelationInstance:
         position = self.schema.position_of(attribute_name)
         return [self._tuples[row] for row in self._attribute_indexes[position].rows_for(value)]
 
+    def select_equal_many(self, attribute_name: str, values: Iterable[object]) -> dict[object, list[Tuple]]:
+        """``σ_{A = v}(R)`` for every ``v`` in *values* in one call.
+
+        Every requested value appears in the result (possibly mapped to an
+        empty list), so batched callers can distribute tuples per probe value
+        without falling back to per-value probes.
+        """
+        position = self.schema.position_of(attribute_name)
+        grouped = self._attribute_indexes[position].rows_for_many(values)
+        return {value: [self._tuples[row] for row in rows] for value, rows in grouped.items()}
+
     def select_any_attribute(self, values: Iterable[object]) -> list[Tuple]:
         """``σ_{A ∈ M}(R)`` for every attribute A — tuples containing any value in *values*."""
         rows = self._value_index.rows_for_any(values)
@@ -93,6 +109,15 @@ class RelationInstance:
 
     def rows_with_value(self, value: object) -> set[int]:
         return self._value_index.rows_for(value)
+
+    def rows_with_values(self, values: Iterable[object]) -> dict[object, frozenset[int]]:
+        """Rows containing each value in any attribute, resolved in one call.
+
+        The multi-value counterpart of :meth:`rows_with_value`; the batched
+        frontier chase uses it to probe the union of many examples' frontier
+        values once per chase depth instead of once per example.
+        """
+        return self._value_index.rows_for_many(values)
 
     def distinct_values(self, attribute_name: str) -> set[object]:
         position = self.schema.position_of(attribute_name)

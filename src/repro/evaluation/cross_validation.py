@@ -9,16 +9,23 @@ dataset's class ratio.
 cross-validation loop and the scalability experiments; test-set
 classification goes through the batched coverage API
 (:meth:`repro.core.dlearn.LearnedModel.predict`), which prepares each learned
-clause once for the whole test fold.
+clause once for the whole test fold.  Passing a
+:class:`~repro.core.session.DatabasePreparation` shares the
+example-set-independent prepared state (similarity pair scoring, database
+probe caches) between every fold over the same database instance — the
+evaluation harness creates one preparation per dataset and threads it
+through.
 """
 
 from __future__ import annotations
 
+import inspect
 import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from ..core.problem import Example, ExampleSet
+from ..core.session import DatabasePreparation
 from .metrics import ConfusionMatrix, confusion
 from .timing import Stopwatch
 
@@ -73,21 +80,38 @@ def stratified_folds(examples: ExampleSet, k: int = 5, seed: int = 0) -> Iterato
         yield Fold(index=index, train=train, test=test)
 
 
+def _fit(learner, problem, preparation: DatabasePreparation | None):
+    """Fit, forwarding *preparation* when the learner's ``fit`` accepts it.
+
+    External learner objects only need the classic ``fit(problem)``
+    signature; the in-repo learners additionally take ``preparation`` and
+    share prepared state across folds.
+    """
+    if preparation is not None and "preparation" in inspect.signature(learner.fit).parameters:
+        return learner.fit(problem, preparation=preparation)
+    return learner.fit(problem)
+
+
 def evaluate_on_split(
     learner_factory: Callable[[], object],
     dataset: "DirtyDataset",
     train: ExampleSet,
     test: ExampleSet,
+    *,
+    preparation: DatabasePreparation | None = None,
 ) -> tuple[ConfusionMatrix, float, int]:
     """Fit a fresh learner on *train* and batch-classify *test*.
 
     Returns the test confusion matrix, the wall-clock learning time in
-    seconds, and the number of clauses in the learned definition.
+    seconds, and the number of clauses in the learned definition.  Test-set
+    classification reuses the model's learning session (similarity scoring
+    and database probes are shared between training and prediction), and a
+    supplied *preparation* extends that sharing across splits.
     """
     problem = dataset.problem(examples=train)
     learner = learner_factory()
     with Stopwatch() as watch:
-        model = learner.fit(problem)
+        model = _fit(learner, problem, preparation)
     test_examples: list[Example] = test.all()
     predictions = model.predict(test_examples)
     labels = [example.positive for example in test_examples]

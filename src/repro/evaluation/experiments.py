@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..baselines import make_learner
 from ..core.config import DLearnConfig
 from ..core.problem import ExampleSet
+from ..core.session import DatabasePreparation
 from ..data.registry import DirtyDataset, generate
 from ..data.synthetic import KNOB_FIELDS, ScenarioSpec
 from .cross_validation import evaluate_on_split, stratified_folds, train_test_split
@@ -91,14 +92,24 @@ def evaluate_learner(
     system: str,
     folds: int = 5,
     seed: int = 0,
+    preparation: DatabasePreparation | None = None,
 ) -> EvaluationResult:
-    """Cross-validate one learner on one dataset and average the fold metrics."""
+    """Cross-validate one learner on one dataset and average the fold metrics.
+
+    One :class:`DatabasePreparation` backs every fold (created here when not
+    supplied): the folds differ only in their example split, so the
+    similarity pair scoring and database probe caches carry over from fold to
+    fold instead of being rebuilt per fit.
+    """
+    preparation = preparation or DatabasePreparation.from_problem(dataset.problem())
     total = ConfusionMatrix()
     total_time = 0.0
     total_clauses = 0
     fold_count = 0
     for fold in stratified_folds(dataset.examples, k=folds, seed=seed):
-        matrix, seconds, clauses = evaluate_on_split(learner_factory, dataset, fold.train, fold.test)
+        matrix, seconds, clauses = evaluate_on_split(
+            learner_factory, dataset, fold.train, fold.test, preparation=preparation
+        )
         total = total + matrix
         total_time += seconds
         total_clauses += clauses
@@ -204,6 +215,7 @@ def run_table6(
     dataset_kwargs.setdefault("n_negatives", 2 * dataset_kwargs["n_positives"])
     dataset = generate("imdb_omdb_3mds", **dataset_kwargs).with_cfd_violations(violation_rate, seed=seed)
     train_pool, test = train_test_split(dataset.examples, test_fraction=test_fraction, seed=seed)
+    preparation = DatabasePreparation.from_problem(dataset.problem())
 
     rows: list[ExperimentRow] = []
     for km in km_values:
@@ -214,7 +226,9 @@ def run_table6(
                 negatives=train_pool.negatives[: 2 * count],
             )
             factory = lambda cfg=km_config: make_learner("dlearn-cfd", cfg)
-            matrix, seconds, clauses = evaluate_on_split(factory, dataset, train, test)
+            matrix, seconds, clauses = evaluate_on_split(
+                factory, dataset, train, test, preparation=preparation
+            )
             result = EvaluationResult(
                 system=f"DLearn-CFD (km={km})",
                 dataset=dataset.name,
@@ -244,6 +258,7 @@ def run_figure1_examples(
     dataset_kwargs.setdefault("n_negatives", 2 * dataset_kwargs["n_positives"])
     dataset = generate("imdb_omdb_3mds", **dataset_kwargs)
     train_pool, test = train_test_split(dataset.examples, test_fraction=0.25, seed=seed)
+    preparation = DatabasePreparation.from_problem(dataset.problem())
 
     rows: list[ExperimentRow] = []
     for count in example_counts:
@@ -252,7 +267,9 @@ def run_figure1_examples(
             negatives=train_pool.negatives[: 2 * count],
         )
         factory = lambda cfg=config: make_learner("dlearn", cfg)
-        matrix, seconds, clauses = evaluate_on_split(factory, dataset, train, test)
+        matrix, seconds, clauses = evaluate_on_split(
+            factory, dataset, train, test, preparation=preparation
+        )
         result = EvaluationResult(
             system="DLearn (km=2)",
             dataset=dataset.name,
@@ -366,11 +383,18 @@ def run_scenario_grid(
     outcomes: list[ScenarioOutcome] = []
     for spec in expand_scenario_grid(base or ScenarioSpec(), grid):
         dataset = generate("synthetic", spec=spec)
+        clean_dataset = dataset.clean_dataset()
         train, test = train_test_split(dataset.examples, test_fraction=test_fraction, seed=seed)
         factory = lambda: make_learner(learner, config)  # noqa: E731 - fresh learner per fit
-        dirty_matrix, dirty_seconds, dirty_clauses = evaluate_on_split(factory, dataset, train, test)
+        # One session family per database instance: the dirty and the clean
+        # world each get a preparation shared between their fit and predict.
+        dirty_matrix, dirty_seconds, dirty_clauses = evaluate_on_split(
+            factory, dataset, train, test,
+            preparation=DatabasePreparation.from_problem(dataset.problem()),
+        )
         clean_matrix, clean_seconds, clean_clauses = evaluate_on_split(
-            factory, dataset.clean_dataset(), train, test
+            factory, clean_dataset, train, test,
+            preparation=DatabasePreparation.from_problem(clean_dataset.problem()),
         )
         outcomes.append(
             ScenarioOutcome(

@@ -79,24 +79,57 @@ class SimilarityIndex:
         blocker = QGramBlocker(q=self.blocker_q, min_shared=self.min_shared_grams)
         blocker.add_all(right_distinct)
 
+        def scored() -> Iterable[SimilarityMatch]:
+            for left_value in left_distinct:
+                for right_value in blocker.candidates(left_value):
+                    score = 1.0 if left_value == right_value else self.operator.score(left_value, right_value)
+                    yield SimilarityMatch(left_value, right_value, score)
+
+        return self.populate(scored())
+
+    def populate(self, matches: Iterable[SimilarityMatch]) -> "SimilarityIndex":
+        """Fill the index from pre-scored left→right matches and keep the top ``k_m``.
+
+        Matches below the operator's threshold are dropped (exact pairs score
+        1.0 and therefore always survive), exactly as in :meth:`build`.  This
+        is the assembly half of index construction: scoring can happen
+        elsewhere — and, crucially, be cached and shared across example sets —
+        while the per-example-set trimming stays here.
+        """
         forward: dict[object, list[SimilarityMatch]] = defaultdict(list)
         backward: dict[object, list[SimilarityMatch]] = defaultdict(list)
-
-        for left_value in left_distinct:
-            for right_value in blocker.candidates(left_value):
-                if left_value == right_value:
-                    score = 1.0
-                else:
-                    score = self.operator.score(left_value, right_value)
-                    if score < self.operator.threshold:
-                        continue
-                forward[left_value].append(SimilarityMatch(left_value, right_value, score))
-                backward[right_value].append(SimilarityMatch(right_value, left_value, score))
-
-        self._forward = {value: self._trim(matches) for value, matches in forward.items()}
-        self._backward = {value: self._trim(matches) for value, matches in backward.items()}
+        threshold = self.operator.threshold
+        for match in matches:
+            if match.value != match.partner and match.score < threshold:
+                continue
+            forward[match.value].append(match)
+            backward[match.partner].append(SimilarityMatch(match.partner, match.value, match.score))
+        self._forward = {value: self._trim(candidates) for value, candidates in forward.items()}
+        self._backward = {value: self._trim(candidates) for value, candidates in backward.items()}
         self._built = True
         return self
+
+    @classmethod
+    def from_scored_matches(
+        cls,
+        matches: Iterable[SimilarityMatch],
+        *,
+        operator: SimilarityOperator | None = None,
+        top_k: int = 5,
+        blocker_q: int = 3,
+        min_shared_grams: int = 2,
+    ) -> "SimilarityIndex":
+        """Assemble an index from already-scored left→right matches.
+
+        Used by the session layer's cached index construction: pair scoring is
+        the expensive part and is memoised per database column, so per-fold /
+        per-prediction indexes are rebuilt from cached scores instead of
+        re-running the similarity measure (top-``k_m`` of a superset's kept
+        matches equals top-``k_m`` of the full pair set, so assembly from
+        cached scores is exact, not approximate).
+        """
+        index = cls(operator, top_k, blocker_q, min_shared_grams)
+        return index.populate(matches)
 
     def _trim(self, matches: list[SimilarityMatch]) -> list[SimilarityMatch]:
         matches.sort(key=lambda match: (-match.score, str(match.partner)))

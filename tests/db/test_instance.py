@@ -60,9 +60,28 @@ class TestIndexes:
         index.add("a", 0)
         index.add("a", 2)
         index.add("b", 1)
-        assert index.rows_for("a") == [0, 2]
-        assert index.rows_for("missing") == []
+        assert index.rows_for("a") == (0, 2)
+        assert index.rows_for("missing") == ()
         assert "a" in index and len(index) == 2
+
+    def test_attribute_index_probe_results_are_immutable(self):
+        index = AttributeIndex()
+        index.add("a", 0)
+        probe = index.rows_for("a")
+        assert isinstance(probe, tuple)
+        # Adding after a probe must not corrupt earlier results and must be
+        # visible in later ones.
+        index.add("a", 5)
+        assert probe == (0,)
+        assert index.rows_for("a") == (0, 5)
+
+    def test_attribute_index_rows_for_many(self):
+        index = AttributeIndex()
+        index.add("a", 0)
+        index.add("a", 2)
+        index.add("b", 1)
+        grouped = index.rows_for_many(["a", "b", "missing"])
+        assert grouped == {"a": (0, 2), "b": (1,), "missing": ()}
 
     def test_value_index(self):
         index = ValueIndex()
@@ -95,6 +114,47 @@ class TestRelationInstance:
         assert len(relation) == 1
         relation.insert(("m1", "Superbad", 2007))
         assert len(relation) == 2
+
+    def test_insert_many_reports_stored_count_under_deduplication(self, movies_schema):
+        from repro.db.relation import RelationInstance
+
+        relation = RelationInstance(movies_schema)
+        rows = [
+            ("m1", "Superbad", 2007),
+            ("m1", "Superbad", 2007),  # duplicate within the batch
+            ("m2", "Zoolander", 2001),
+        ]
+        assert relation.insert_many(rows, deduplicate=True) == 2
+        assert len(relation) == 2
+        # Re-offering already-present rows stores nothing.
+        assert relation.insert_many(rows, deduplicate=True) == 0
+        assert len(relation) == 2
+        # Without deduplication every offered row is stored and counted.
+        assert relation.insert_many(rows) == 3
+        assert len(relation) == 5
+
+    def test_select_equal_many(self, tiny_db):
+        movies = tiny_db.relation("movies")
+        grouped = movies.select_equal_many("year", [2007, 2001, 1999])
+        assert {t.values[0] for t in grouped[2007]} == {"m1", "m3"}
+        assert [t.values[0] for t in grouped[2001]] == ["m2"]
+        assert grouped[1999] == []
+        # Identical to the per-value probes.
+        for year in (2007, 2001, 1999):
+            assert grouped[year] == movies.select_equal("year", year)
+
+    def test_rows_with_values(self, tiny_db):
+        movies = tiny_db.relation("movies")
+        grouped = movies.rows_with_values(["Superbad", 2001, "nope"])
+        assert grouped["Superbad"] == frozenset(movies.rows_with_value("Superbad"))
+        assert grouped[2001] == frozenset(movies.rows_with_value(2001))
+        assert grouped["nope"] == frozenset()
+
+    def test_instance_select_equal_many(self, tiny_db):
+        grouped = tiny_db.select_equal_many("genres", "genre", ["comedy", "drama", "horror"])
+        assert {t.values[0] for t in grouped["comedy"]} == {"m1", "m2"}
+        assert [t.values[0] for t in grouped["drama"]] == ["m3"]
+        assert grouped["horror"] == []
 
     def test_distinct_values_and_contains(self, tiny_db):
         movies = tiny_db.relation("movies")

@@ -104,6 +104,55 @@ class TestCrossValidation:
         with pytest.raises(ValueError):
             train_test_split(example_set(4, 4), test_fraction=0.0)
 
+    def test_evaluate_on_split_with_shared_preparation_is_identical(self):
+        """Threading one DatabasePreparation through splits must not change results."""
+        from repro.baselines import make_learner
+        from repro.core import DatabasePreparation, DLearnConfig
+        from repro.data.registry import generate
+        from repro.evaluation.cross_validation import evaluate_on_split
+
+        dataset = generate("imdb_omdb", n_movies=30, n_positives=6, n_negatives=12, seed=5)
+        config = DLearnConfig(use_cfds=False, top_k_matches=2)
+        train, test = train_test_split(dataset.examples, test_fraction=0.25, seed=0)
+        factory = lambda: make_learner("dlearn", config)  # noqa: E731
+
+        plain_matrix, _, plain_clauses = evaluate_on_split(factory, dataset, train, test)
+        preparation = DatabasePreparation.from_problem(dataset.problem())
+        shared_matrix, _, shared_clauses = evaluate_on_split(
+            factory, dataset, train, test, preparation=preparation
+        )
+        second_matrix, _, second_clauses = evaluate_on_split(
+            factory, dataset, train, test, preparation=preparation
+        )
+        assert (shared_matrix, shared_clauses) == (plain_matrix, plain_clauses)
+        assert (second_matrix, second_clauses) == (plain_matrix, plain_clauses)
+
+    def test_evaluate_on_split_accepts_plain_fit_learners(self):
+        """External learners with the classic fit(problem) signature still work."""
+        from repro.core import DatabasePreparation, Example
+        from repro.data.registry import generate
+        from repro.evaluation.cross_validation import evaluate_on_split
+
+        dataset = generate("imdb_omdb", n_movies=20, n_positives=5, n_negatives=10, seed=5)
+
+        class ConstantModel:
+            definition = ()
+
+            def predict(self, examples):
+                return [True for _ in examples]
+
+        class PlainLearner:
+            def fit(self, problem):  # no preparation parameter
+                return ConstantModel()
+
+        train, test = train_test_split(dataset.examples, test_fraction=0.25, seed=0)
+        preparation = DatabasePreparation.from_problem(dataset.problem())
+        matrix, _, clauses = evaluate_on_split(
+            lambda: PlainLearner(), dataset, train, test, preparation=preparation
+        )
+        assert matrix.true_positives == len(test.positives)
+        assert clauses == 0
+
 
 class TestReporting:
     def _rows(self) -> list[ExperimentRow]:

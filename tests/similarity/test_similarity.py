@@ -170,6 +170,64 @@ class TestSimilarityIndex:
         with pytest.raises(ValueError):
             SimilarityIndex(top_k=0)
 
+    def test_from_scored_matches_equals_build(self):
+        """Assembling from pre-scored pairs is the same as building from columns.
+
+        This is the contract the session layer's cached index construction
+        relies on: scoring can be cached and shared, assembly is exact.
+        """
+        operator = SimilarityOperator(threshold=0.6)
+        left = ["Superbad", "Zoolander", "The Orphanage"]
+        right = ["Superbad (2007)", "Zoolander (2001)", "The Orphanage (2007)", "Quiet Anthem"]
+        built = SimilarityIndex(operator, top_k=2).build(left, right)
+
+        from repro.similarity.index import SimilarityMatch
+        from repro.similarity.qgrams import QGramBlocker
+
+        blocker = QGramBlocker(q=3, min_shared=2)
+        blocker.add_all(right)
+        scored = [
+            SimilarityMatch(l, r, 1.0 if l == r else operator.score(l, r))
+            for l in left
+            for r in blocker.candidates(l)
+        ]
+        assembled = SimilarityIndex.from_scored_matches(scored, operator=operator, top_k=2)
+        assert assembled._forward == built._forward
+        assert assembled._backward == built._backward
+
+    def test_populate_filters_below_threshold(self):
+        from repro.similarity.index import SimilarityMatch
+
+        operator = SimilarityOperator(threshold=0.8)
+        index = SimilarityIndex.from_scored_matches(
+            [
+                SimilarityMatch("a", "a", 1.0),
+                SimilarityMatch("a", "ab", 0.5),  # below threshold: dropped
+                SimilarityMatch("b", "bb", 0.9),
+            ],
+            operator=operator,
+            top_k=3,
+        )
+        assert index.partners_of("a") == ["a"]
+        assert index.partners_of("bb") == ["b"]
+
+    def test_superset_trim_commutes_with_subset_trim(self):
+        """top_k(top_k(A) ∪ B) == top_k(A ∪ B) — the exactness of incremental reuse."""
+        from repro.similarity.index import SimilarityMatch
+
+        matches_a = [SimilarityMatch("v", f"p{i}", 0.9 - i * 0.05) for i in range(6)]
+        matches_b = [SimilarityMatch("v", "q", 0.87)]
+        operator = SimilarityOperator(threshold=0.3)
+        full = SimilarityIndex.from_scored_matches(matches_a + matches_b, operator=operator, top_k=3)
+        trimmed_first = SimilarityIndex.from_scored_matches(matches_a, operator=operator, top_k=3)
+        kept = [
+            SimilarityMatch("v", m.partner, m.score) for m in trimmed_first.matches_of("v")
+        ]
+        incremental = SimilarityIndex.from_scored_matches(kept + matches_b, operator=operator, top_k=3)
+        assert [m.partner for m in incremental.matches_of("v")] == [
+            m.partner for m in full.matches_of("v")
+        ]
+
     def test_contains(self):
         index = self._index()
         assert "Superbad" in index
