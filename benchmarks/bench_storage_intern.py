@@ -1,0 +1,342 @@
+"""Interned-columnar storage core vs the seed string path, phase by phase.
+
+The storage refactor dictionary-encodes every attribute value to a dense
+integer id (``repro.db.interning``): columns are id arrays, indexes and chase
+frontiers hash machine integers, tuple views decode lazily, duplicate rows
+are detected by index probe instead of a per-row key set, and equal strings
+exist once per database.  This benchmark pits that core against the **seed
+string path** — the identity-interner compatibility mode
+(``DatabaseInstance(..., interned=False)``), which reproduces the
+pre-refactor storage layout: raw values as column entries and index keys, the
+seed's per-cell ``(position, row)`` pair index with row sets rebuilt per
+probe (memoised at the probe-cache layer, as the seed did), a per-row key
+set, and eagerly materialised tuples.
+
+Every cell of a synthetic dirty-scenario grid runs the same cycle in both
+modes, and each phase is measured separately because they stress storage very
+differently:
+
+* ``build``    — fresh-object load (every cell value arrives as a distinct
+  string object, as it would from a CSV/JSON parse) into a new instance;
+* ``saturate`` — session construction + the batched relevant-tuple chase for
+  every example: the probe-bound half of learning;
+* ``fit``      — covering-loop fit plus test-set prediction: dominated by
+  θ-subsumption, which operates on clause objects and bounds how much *any*
+  storage change can move end-to-end time;
+* ``resident`` — bytes retained by the built instance (tracemalloc, after
+  gc), the number the interner actually attacks;
+* ``peak``     — peak traced bytes over the whole cycle.
+
+The two modes must be *observationally identical*: equal
+``content_fingerprint``\\ s, identical gathered relevant tuples, byte-identical
+learned definitions and identical predictions — the run fails otherwise.
+Results are printed and, with ``--output``, written as JSON so CI can record
+the perf trajectory (``BENCH_storage.json``).
+
+Run it directly (pytest does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_storage_intern.py              # full grid
+    PYTHONPATH=src python benchmarks/bench_storage_intern.py --quick      # CI smoke
+    PYTHONPATH=src python benchmarks/bench_storage_intern.py --min-memory-reduction 0.4
+    PYTHONPATH=src python benchmarks/bench_storage_intern.py --output BENCH_storage.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+import tracemalloc
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core import DLearn, DLearnConfig, LearningSession
+from repro.data.registry import generate
+from repro.data.synthetic import ScenarioSpec
+from repro.db import DatabaseInstance
+from repro.evaluation.cross_validation import train_test_split
+
+
+def _learning_config() -> DLearnConfig:
+    return DLearnConfig(
+        iterations=3,
+        sample_size=8,
+        top_k_matches=3,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+        seed=0,
+    )
+
+
+def _chase_config() -> DLearnConfig:
+    # bench_saturation_batch's chase workload knobs: deep, frequency-raised.
+    return DLearnConfig(seed=0, iterations=4, max_chase_frequency=50)
+
+
+def _grid(quick: bool) -> list[tuple[str, ScenarioSpec, DLearnConfig, str]]:
+    """(label, spec, config, phases) cells.
+
+    ``phases`` selects how far each cell runs: ``"fit"`` cells run the whole
+    pipeline, ``"saturate"`` cells stop after the chase (their bottom clauses
+    are far too large to learn from in benchmark time — same split as
+    ``bench_saturation_batch``), and ``"build"`` cells only load storage (the
+    big-load cell's similarity build costs ~30s of storage-independent string
+    scoring, and its chase is frequency-pruned to nothing — neither phase
+    says anything about storage).
+    """
+    dirty = dict(
+        string_variant_intensity=0.3,
+        md_drift=0.3,
+        cfd_violation_rate=0.05,
+        null_rate=0.05,
+        duplicate_rate=0.1,
+        n_positives=10,
+        n_negatives=20,
+        seed=7,
+    )
+    dense = ScenarioSpec(
+        n_entities=60, n_satellites=4, satellite_arity=3, fanout=3, join_depth=3,
+        md_drift=0.5, duplicate_rate=0.7, cfd_violation_rate=0.1,
+        n_positives=40, n_negatives=80, seed=3,
+    )
+    big_load = ScenarioSpec(
+        n_entities=300, n_satellites=4, satellite_arity=4, fanout=3, join_depth=2,
+        md_drift=0.05, duplicate_rate=0.5, cfd_violation_rate=0.05,
+        n_positives=10, n_negatives=20, seed=7,
+    )
+    if quick:
+        return [
+            ("entities=80", ScenarioSpec(n_entities=80, **dirty), _learning_config(), "fit"),
+            ("dense-chase", dense, _chase_config(), "saturate"),
+        ]
+    return [
+        ("entities=120", ScenarioSpec(n_entities=120, **dirty), _learning_config(), "fit"),
+        ("dense-chase", dense, _chase_config(), "saturate"),
+        ("big-load", big_load, DLearnConfig(seed=0, iterations=3), "build"),
+    ]
+
+
+def _fresh(value):
+    """A distinct object per cell, as a real load from disk would produce."""
+    return value.encode("utf-8").decode("utf-8") if type(value) is str else value
+
+
+class _Cycle:
+    """One storage mode's run over one grid cell, phase by phase."""
+
+    def __init__(self, dataset, rows_src, config, train, test_examples, *, interned: bool, phases: str):
+        self.dataset = dataset
+        self.rows_src = rows_src
+        self.config = config
+        self.train = train
+        self.test_examples = test_examples
+        self.interned = interned
+        self.phases = phases
+
+    def build(self) -> DatabaseInstance:
+        database = DatabaseInstance(self.dataset.problem().database.schema, interned=self.interned)
+        for name, rows in self.rows_src.items():
+            database.insert_many(name, ([_fresh(value) for value in row] for row in rows))
+        return database
+
+    def session(self, database: DatabaseInstance) -> LearningSession:
+        """Similarity-index construction — string scoring, storage-independent."""
+        problem = self.dataset.problem().with_database(database)
+        return LearningSession(problem, self.config)
+
+    def saturate(self, session: LearningSession):
+        """The batched relevant-tuple chase: the probe-bound half of learning."""
+        relevant = session.chase.relevant_many(session.problem.examples.all())
+        return [([t.values for t in r.tuples], r.similarity_evidence) for r in relevant]
+
+    def fit_predict(self, database: DatabaseInstance):
+        if self.phases != "fit":
+            return None, None
+        problem = self.dataset.problem(examples=self.train).with_database(database)
+        model = DLearn(self.config).fit(problem)
+        return [str(clause) for clause in model.clauses], model.predict(self.test_examples)
+
+    def run_timed(self) -> dict:
+        started = time.perf_counter()
+        database = self.build()
+        build_seconds = time.perf_counter() - started
+        index_seconds = saturate_seconds = 0.0
+        relevant = None
+        if self.phases != "build":
+            started = time.perf_counter()
+            session = self.session(database)
+            index_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            relevant = self.saturate(session)
+            saturate_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        definition, predictions = self.fit_predict(database)
+        fit_seconds = time.perf_counter() - started
+        return {
+            "build_seconds": build_seconds,
+            "index_seconds": index_seconds,
+            "saturate_seconds": saturate_seconds,
+            "fit_seconds": fit_seconds,
+            "fingerprint": database.content_fingerprint(),
+            "relevant": relevant,
+            "definition": definition,
+            "predictions": predictions,
+            "stats": database.stats(),
+        }
+
+    def run_traced(self) -> dict:
+        gc.collect()
+        tracemalloc.start()
+        database = self.build()
+        gc.collect()
+        resident, _ = tracemalloc.get_traced_memory()
+        if self.phases != "build":
+            self.saturate(self.session(database))
+        self.fit_predict(database)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return {"resident_bytes": resident, "peak_bytes": peak}
+
+
+def measure_cell(label, spec, config, phases, repetitions):
+    dataset = generate("synthetic", spec=spec)
+    base = dataset.problem().database
+    rows_src = {name: [tup.values for tup in relation] for name, relation in base.relations().items()}
+    train, test = train_test_split(dataset.examples, test_fraction=0.25, seed=0)
+    # Modes alternate within every repetition (and the minimum per phase is
+    # kept), so ambient slowdowns — CPU scaling, background load — hit both
+    # storage paths alike instead of biasing whichever ran last.
+    cycles = {
+        mode_label: _Cycle(dataset, rows_src, config, train, test.all(), interned=interned, phases=phases)
+        for mode_label, interned in (("string", False), ("interned", True))
+    }
+    results: dict[str, dict] = {}
+    for _ in range(repetitions):
+        for mode_label, cycle in cycles.items():
+            attempt = cycle.run_timed()
+            timed = results.get(mode_label)
+            if timed is None:
+                results[mode_label] = attempt
+            else:
+                for phase in ("build_seconds", "index_seconds", "saturate_seconds", "fit_seconds"):
+                    timed[phase] = min(timed[phase], attempt[phase])
+    for mode_label, cycle in cycles.items():
+        results[mode_label].update(cycle.run_traced())
+
+    string, interned = results["string"], results["interned"]
+    identical = {
+        "fingerprints": string["fingerprint"] == interned["fingerprint"],
+        "relevant_tuples": string["relevant"] == interned["relevant"],
+        "definitions": string["definition"] == interned["definition"],
+        "predictions": string["predictions"] == interned["predictions"],
+    }
+    storage_string = string["build_seconds"] + string["saturate_seconds"]
+    storage_interned = interned["build_seconds"] + interned["saturate_seconds"]
+    cell = {
+        "cell": label,
+        "phases": phases,
+        "tuples": dataset.database.tuple_count(),
+        "storage_speedup": round(storage_string / storage_interned, 3),
+        "memory_reduction": round(1.0 - interned["resident_bytes"] / string["resident_bytes"], 4),
+        "peak_reduction": round(1.0 - interned["peak_bytes"] / string["peak_bytes"], 4),
+        **{f"identical_{key}": value for key, value in identical.items()},
+    }
+    if phases == "fit":
+        total_string = storage_string + string["index_seconds"] + string["fit_seconds"]
+        total_interned = storage_interned + interned["index_seconds"] + interned["fit_seconds"]
+        cell["end_to_end_speedup"] = round(total_string / total_interned, 3)
+        cell["clauses"] = len(interned["definition"])
+    for mode_label in ("string", "interned"):
+        mode = results[mode_label]
+        cell[mode_label] = {
+            "build_seconds": round(mode["build_seconds"], 4),
+            "index_seconds": round(mode["index_seconds"], 4),
+            "saturate_seconds": round(mode["saturate_seconds"], 4),
+            "fit_seconds": round(mode["fit_seconds"], 4),
+            "resident_bytes": mode["resident_bytes"],
+            "peak_bytes": mode["peak_bytes"],
+            "stats_total_bytes": mode["stats"]["approx_total_bytes"],
+        }
+    return cell
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument("--repetitions", type=int, default=2, help="timing repetitions; the minimum is reported")
+    parser.add_argument("--min-storage-speedup", type=float, default=None,
+                        help="exit non-zero when the aggregate build+saturate speedup falls below this")
+    parser.add_argument("--min-memory-reduction", type=float, default=None,
+                        help="exit non-zero when the aggregate resident-memory reduction falls below this (0..1)")
+    parser.add_argument("--output", default=None, help="write the results as JSON to this path")
+    args = parser.parse_args(argv)
+
+    header = (
+        f"{'cell':<14} {'tuples':>7} {'storage_x':>10} {'e2e_x':>7} "
+        f"{'str_MB':>8} {'int_MB':>8} {'mem_red':>8} {'peak_red':>9} {'identical':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    cells = []
+    for label, spec, config, phases in _grid(args.quick):
+        cell = measure_cell(label, spec, config, phases, args.repetitions)
+        cells.append(cell)
+        identical = all(value for key, value in cell.items() if key.startswith("identical_"))
+        print(
+            f"{cell['cell']:<14} {cell['tuples']:>7} {cell['storage_speedup']:>9.2f}x "
+            f"{cell.get('end_to_end_speedup', float('nan')):>6.2f}x "
+            f"{cell['string']['resident_bytes'] / 1e6:>8.2f} {cell['interned']['resident_bytes'] / 1e6:>8.2f} "
+            f"{cell['memory_reduction'] * 100:>7.1f}% {cell['peak_reduction'] * 100:>8.1f}% "
+            f"{'yes' if identical else 'NO':>10}"
+        )
+
+    storage_string = sum(cell["string"]["build_seconds"] + cell["string"]["saturate_seconds"] for cell in cells)
+    storage_interned = sum(cell["interned"]["build_seconds"] + cell["interned"]["saturate_seconds"] for cell in cells)
+    aggregate_storage_speedup = storage_string / storage_interned
+    resident_string = sum(cell["string"]["resident_bytes"] for cell in cells)
+    resident_interned = sum(cell["interned"]["resident_bytes"] for cell in cells)
+    aggregate_memory_reduction = 1.0 - resident_interned / resident_string
+    all_identical = all(
+        value for cell in cells for key, value in cell.items() if key.startswith("identical_")
+    )
+    print(f"aggregate storage speedup (build+saturate) : {aggregate_storage_speedup:.2f}x")
+    print(f"aggregate resident-memory reduction        : {aggregate_memory_reduction * 100:.1f}%")
+    print(f"observationally identical                  : {'yes' if all_identical else 'NO'}")
+
+    if args.output:
+        payload = {
+            "benchmark": "storage_intern",
+            "mode": "quick" if args.quick else "full",
+            "cells": cells,
+            "aggregate_storage_speedup": round(aggregate_storage_speedup, 3),
+            "aggregate_memory_reduction": round(aggregate_memory_reduction, 4),
+            "all_identical": all_identical,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if not all_identical:
+        print("FAIL: storage modes disagree on fingerprints, relevant tuples, definitions or predictions",
+              file=sys.stderr)
+        return 1
+    if args.min_storage_speedup is not None and aggregate_storage_speedup < args.min_storage_speedup:
+        print(f"FAIL: storage speedup {aggregate_storage_speedup:.2f}x below required "
+              f"{args.min_storage_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if args.min_memory_reduction is not None and aggregate_memory_reduction < args.min_memory_reduction:
+        print(f"FAIL: memory reduction {aggregate_memory_reduction * 100:.1f}% below required "
+              f"{args.min_memory_reduction * 100:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,14 @@ stable instances reachable by iterating MD applications (exponential — only
 for small inputs); ``minimal_cfd_repair`` produces one repair of the CFD
 violations using the minimal value-modification semantics the paper adopts
 for its baseline.
+
+Repairs are produced as :class:`~repro.db.overlay.OverlayInstance` —
+copy-on-write views holding only the tuple-level delta over the original
+instance — instead of full database copies.  Overlays answer every query and
+index probe of the :class:`~repro.db.instance.DatabaseInstance` API (the
+baselines learn over them directly), and
+:meth:`~repro.db.overlay.OverlayInstance.materialize` remains the eager
+reference path the property suite validates against.
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from collections import Counter, defaultdict
 from typing import Callable, Iterable, Iterator
 
 from ..db.instance import DatabaseInstance
+from ..db.overlay import OverlayInstance
 from ..db.tuples import Tuple
 from ..logic.terms import Constant, matched_constant
 from .cfds import WILDCARD, ConditionalFunctionalDependency
@@ -75,11 +84,15 @@ def enforce_md(instance: DatabaseInstance, match: MDMatch) -> DatabaseInstance:
     representations of one real-world value, so every other occurrence of
     either representation denotes that same value as well.  Global
     replacement is also what makes repeated enforcement terminate.
+
+    The result is a copy-on-write overlay: only the rows containing either
+    replaced value enter the delta, and chained enforcements merge their
+    deltas over the one shared base instead of stacking copies.
     """
     if not match.needs_enforcement:
         return instance
     unified = _unified_value(match.left_value, match.right_value)
-    repaired = instance.replace_value_globally(match.left_value, unified)
+    repaired = OverlayInstance.over(instance).replace_value_globally(match.left_value, unified)
     repaired = repaired.replace_value_globally(match.right_value, unified)
     return repaired
 
@@ -169,9 +182,14 @@ def minimal_cfd_repair(
     This mirrors the "minimal repair method, which is popular in repairing
     CFDs" that the paper uses to build the DLearn-Repaired baseline
     (Section 6.1.3).
+
+    The repair is returned as a copy-on-write overlay (the original instance
+    is returned untouched when no violation needs repairing): only the
+    value-modified rows enter the delta, so the DLearn-Repaired baseline no
+    longer pays a full database copy to learn over the repaired instance.
     """
     cfds = list(cfds)
-    current = instance
+    current: DatabaseInstance = instance
     for _ in range(max_rounds):
         changed = False
         for cfd in cfds:
@@ -201,7 +219,7 @@ def minimal_cfd_repair(
 
             if replacements:
                 changed = True
-                current = current.map_relation(
+                current = OverlayInstance.over(current).map_relation(
                     cfd.relation, lambda tup, mapping=replacements: mapping.get(tup, tup)
                 )
         if not changed:

@@ -128,15 +128,24 @@ class CoverageEngine:
     # ------------------------------------------------------------------ #
     # ground bottom clauses
     # ------------------------------------------------------------------ #
+    def _ground_key(self, example: Example) -> tuple:
+        """Cache key for an example's ground clause: its interned value ids.
+
+        Ids hash and compare as machine integers, so the per-candidate
+        per-example cache lookups of the covering loop stop re-hashing the
+        example's strings (decoding happens only at clause construction).
+        """
+        return self.builder.problem.database.intern_values(example.values)
+
     def prepared_ground(self, example: Example) -> PreparedClause:
         """The example's ground bottom clause, pre-processed for repeated subsumption tests.
 
-        Keyed on the example's *values* only: the ground bottom clause is
-        built from the tuples reachable from those values, so an example that
-        appears with both labels (e.g. in noisy-label experiments) shares one
-        prepared clause.
+        Keyed on the example's *values* only (as an interned id tuple): the
+        ground bottom clause is built from the tuples reachable from those
+        values, so an example that appears with both labels (e.g. in
+        noisy-label experiments) shares one prepared clause.
         """
-        key = example.values
+        key = self._ground_key(example)
         if key not in self._ground_cache:
             self._ground_cache[key] = self.checker.prepare(self.builder.build(example, ground=True))
         return self._ground_cache[key]
@@ -150,7 +159,7 @@ class CoverageEngine:
         up.  Every batched entry point funnels through here, so the covering
         loop, prediction and evaluation all saturate batch-wise.
         """
-        missing = [example for example in examples if example.values not in self._ground_cache]
+        missing = [example for example in examples if self._ground_key(example) not in self._ground_cache]
         if missing:
             self.builder.gather_relevant_many(missing)
         return [self.prepared_ground(example) for example in examples]

@@ -3,34 +3,49 @@
 The frontier chase gathers the tuples of the database that are *relevant* to a
 training example — reachable from the example's constants through exact value
 matches or through approximate matches licensed by the matching dependencies.
-PR 1 batched coverage testing; this module batches the other half of learning
-cost, the saturation chase itself:
+PR 1 batched coverage testing, PR 3 batched the chase across examples; with
+the interned-columnar storage core the chase now runs on **value ids**
+end-to-end:
+
+* frontiers, seen-constant sets and per-attribute constant maps hold dense
+  integer ids instead of strings, so every membership test and set union the
+  chase performs hashes machine integers;
+* index probes (:meth:`repro.db.relation.RelationInstance.rows_with_ids` /
+  ``rows_equal_id``) are answered id-keyed straight from the relation
+  indexes, whose entries freeze to shared immutable sets on first probe;
+* gathered tuples are tracked as id rows; a :class:`~repro.db.tuples.Tuple`
+  view is materialised only for the rows that survive per-relation sampling,
+  and its values decode lazily at the clause-assembly boundary;
+* values are decoded only where the clause layer needs them: similarity
+  partner lookups (the similarity index is value-keyed), chaseability type
+  checks (memoised per id) and :class:`SimilarityEvidence` records.
 
 * :class:`FrontierChase.relevant_many` drives the chase for **many examples in
-  one pass** over the database.  At every chase depth the union of all
-  examples' frontier values is resolved through the multi-value index probes
-  of the db layer (:meth:`repro.db.relation.RelationInstance.rows_with_values`
-  / ``select_equal_many``), so each relation's indexes are walked once per
-  depth instead of once per example, and examples whose chases overlap — the
-  common case, since positive examples of one target reach the same entity
-  neighbourhood — share every probe result.
+  one pass** over the database: at every chase depth the union of all
+  examples' frontier ids is resolved through the multi-value index probes,
+  so each relation's indexes are walked once per depth instead of once per
+  example, and examples whose chases overlap share every probe result.
 
-* :class:`DatabaseProbeCache` memoises the pure index probes (value rows,
-  equality selections, global value frequencies) for the lifetime of a
-  learning session, so prediction, cross-validation folds and scenario-grid
-  cells over the same database instance never repeat a probe.
+* :class:`DatabaseProbeCache` memoises the chase-global derived quantities
+  (value frequencies) and hands out depth-local probe tables; the underlying
+  id-keyed row sets are cached inside the relation indexes themselves, so
+  prediction, cross-validation folds and scenario-grid cells over the same
+  database instance never repeat a probe.
 
 * :class:`SaturationCache` holds the finished :class:`RelevantTuples` per
-  example, shared by bottom-clause and ground-bottom-clause assembly — which
-  is what makes a bottom clause cover its own example (Proposition 4.3) under
-  the subsumption-based coverage test.
+  example (keyed by the example's interned id tuple), shared by bottom-clause
+  and ground-bottom-clause assembly — which is what makes a bottom clause
+  cover its own example (Proposition 4.3) under the subsumption-based
+  coverage test.
 
-Per-example results are bit-identical to the pre-batching per-example path
-(kept as :meth:`FrontierChase.relevant_serial` for tests and benchmarks): the
-chase state of every example is advanced by exactly the same code, only the
-probes are answered from the shared prefetched caches.  In particular the
-per-example sampling RNG is still seeded from the example's values alone, so
-batch composition cannot change what any example gathers.
+Per-example results are identical on every path (batched, per-example
+reference :meth:`FrontierChase.relevant_serial`, interned or identity
+storage): each example's chase state is advanced by exactly the same code,
+probe answers are storage-mode independent, and the one order-sensitive
+iteration — the per-depth similarity search over several known constants —
+visits constants in decoded-value order, which is storage-mode independent
+too.  The per-example sampling RNG is still seeded from the example's values
+alone, so batch composition cannot change what any example gathers.
 """
 
 from __future__ import annotations
@@ -40,6 +55,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..db.instance import DatabaseInstance
+from ..db.interning import MISSING_ID
+from ..db.overlay import OverlayInstance
 from ..db.relation import RelationInstance
 from ..db.sampling import Sampler
 from ..db.tuples import Tuple
@@ -62,7 +79,8 @@ class SimilarityEvidence:
 
     ``known_value`` was already in the seen-constant set ``M``;
     ``matched_value`` is the similar value found in ``relation.attribute`` of
-    the matched tuple, licensed by MD ``md_name``.
+    the matched tuple, licensed by MD ``md_name``.  Values are decoded — this
+    record crosses into the clause layer, which is a rendering boundary.
     """
 
     md_name: str
@@ -70,7 +88,7 @@ class SimilarityEvidence:
     matched_value: object
 
 
-@dataclass
+@dataclass(slots=True)
 class RelevantTuples:
     """The information relevant to one example (``I_e`` in Algorithm 2)."""
 
@@ -82,158 +100,159 @@ class RelevantTuples:
 
 
 class SaturationCache:
-    """Finished chase results keyed by example values.
+    """Finished chase results keyed by the example's interned value ids.
 
-    Keyed on the example's *values* only: the relevant tuples are reachable
-    from those values regardless of the example's label, so an example that
-    appears with both labels shares one entry, and the bottom clause and the
-    ground bottom clause of one example are assembled from exactly the same
-    gathered tuples.
+    Keyed on the example's *values* only (as an id tuple): the relevant
+    tuples are reachable from those values regardless of the example's label,
+    so an example that appears with both labels shares one entry, and the
+    bottom clause and the ground bottom clause of one example are assembled
+    from exactly the same gathered tuples.
     """
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[object, ...], RelevantTuples] = {}
+        self._entries: dict[tuple, RelevantTuples] = {}
 
-    def get(self, values: tuple[object, ...]) -> RelevantTuples | None:
-        return self._entries.get(values)
+    def get(self, key: tuple) -> RelevantTuples | None:
+        return self._entries.get(key)
 
-    def store(self, values: tuple[object, ...], relevant: RelevantTuples) -> None:
-        self._entries[values] = relevant
+    def store(self, key: tuple, relevant: RelevantTuples) -> None:
+        self._entries[key] = relevant
 
-    def __contains__(self, values: tuple[object, ...]) -> bool:
-        return values in self._entries
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
 
     def __len__(self) -> int:
         return len(self._entries)
 
 
 class DatabaseProbeCache:
-    """Memoised pure index probes over one database instance.
+    """Memoised chase-global probe state over one database instance.
 
     Every answer is a pure function of the (immutable, insert-only) database,
     so one cache can back every chase over the instance — the covering loop,
-    prediction, all cross-validation folds.  ``prefetch_*`` fill many entries
-    through the db layer's multi-value probes in one index walk.
+    prediction, all cross-validation folds.  Since the interned storage core
+    the raw id→rows sets are cached (frozen) inside the relation indexes
+    themselves; what remains here are the cross-relation aggregates (value
+    frequencies) and the depth-local probe tables the batched chase hands to
+    every example.
     """
 
     def __init__(self, database: DatabaseInstance) -> None:
         self.database = database
+        #: value id → number of tuples containing it anywhere (chaseability).
         self._frequency: dict[object, int] = {}
-        #: (relation name, value) → rows; entries are treated as immutable.
-        self._any_rows: dict[tuple[str, object], frozenset[int] | set[int]] = {}
-        self._equal: dict[tuple[str, str, object], tuple[Tuple, ...]] = {}
+        # The interned core freezes probe results inside the relation indexes
+        # themselves, so no second cache layer is kept on top.  Two storages
+        # do not have that index-level caching and are memoised here instead:
+        # the seed string path (PairValueIndex rebuilds a row set per probe —
+        # this memo is exactly the seed's probe cache) and copy-on-write
+        # overlays (every probe patches the base result with an O(delta)
+        # scan, and the baselines chase over overlays directly).
+        self._memoise = not database.interned or isinstance(database, OverlayInstance)
+        self._any_rows: dict[tuple[str, object], frozenset[int]] = {}
+        self._equal: dict[tuple[str, str, object], tuple[int, ...]] = {}
 
     # -- global value frequency (drives the chaseability test) ---------- #
-    def value_frequency(self, value: object) -> int:
-        """Number of tuples (across all relations) containing *value*.
-
-        Computed through :meth:`rows_any`, so one walk serves both the
-        chaseability test and the frontier probes of the following depth —
-        by the time a value passes the frequency check, its per-relation row
-        sets are already cached.
-        """
-        cached = self._frequency.get(value)
+    def value_frequency(self, key: object) -> int:
+        """Number of tuples (across all relations) containing value id *key*."""
+        cached = self._frequency.get(key)
         if cached is None:
             cached = sum(
-                len(self.rows_any(relation, value))
+                len(self.rows_any(relation, key))
                 for relation in self.database
-                if relation.contains_value(value)
+                if relation.contains_id(key)
             )
-            self._frequency[value] = cached
+            self._frequency[key] = cached
         return cached
 
     # -- any-attribute containment probes ------------------------------- #
-    def rows_any(self, relation: RelationInstance, value: object) -> frozenset[int] | set[int]:
-        key = (relation.schema.name, value)
-        cached = self._any_rows.get(key)
+    def rows_any(self, relation: RelationInstance, key: object) -> frozenset[int]:
+        if not self._memoise:
+            return relation.rows_with_id(key)
+        memo_key = (relation.schema.name, key)
+        cached = self._any_rows.get(memo_key)
         if cached is None:
-            cached = relation.rows_with_value(value)
-            self._any_rows[key] = cached
+            cached = relation.rows_with_id(key)
+            self._any_rows[memo_key] = cached
         return cached
 
-    def prefetch_any(self, relation: RelationInstance, values: Iterable[object]) -> None:
-        name = relation.schema.name
-        missing = [value for value in values if (name, value) not in self._any_rows]
-        if not missing:
-            return
-        for value, rows in relation.rows_with_values(missing).items():
-            self._any_rows[(name, value)] = rows
-
-    def any_rows_table(self, relation: RelationInstance, values: Iterable[object]) -> dict[object, frozenset[int] | set[int]]:
-        """Prefetch *values* against *relation* and return the non-empty hits.
+    def any_rows_table(self, relation: RelationInstance, keys: Iterable[object]) -> dict[object, frozenset[int]]:
+        """Resolve *keys* against *relation* in one call and return the non-empty hits.
 
         The returned plain dict is the depth-local probe table the batched
         chase hands to every example: distributing rows per example becomes a
-        direct dictionary lookup instead of a per-(value, relation) cache
-        probe.
+        direct dictionary lookup, and the underlying frozensets are the
+        index's own shared entries (memoised probe results on the seed
+        string path).
         """
-        self.prefetch_any(relation, values)
-        name = relation.schema.name
-        any_rows = self._any_rows
-        table: dict[object, frozenset[int] | set[int]] = {}
-        for value in values:
-            rows = any_rows[(name, value)]
-            if rows:
-                table[value] = rows
-        return table
+        if not self._memoise:
+            return {key: rows for key, rows in relation.rows_with_ids(keys).items() if rows}
+        return {key: rows for key in keys if (rows := self.rows_any(relation, key))}
 
     # -- equality selection probes --------------------------------------- #
-    def tuples_equal(self, relation: RelationInstance, attribute: str, value: object) -> tuple[Tuple, ...]:
-        key = (relation.schema.name, attribute, value)
-        cached = self._equal.get(key)
+    def rows_equal(self, relation: RelationInstance, attribute: str, key: object) -> tuple[int, ...]:
+        if not self._memoise:
+            return relation.rows_equal_id(attribute, key)
+        memo_key = (relation.schema.name, attribute, key)
+        cached = self._equal.get(memo_key)
         if cached is None:
-            cached = tuple(relation.select_equal(attribute, value))
-            self._equal[key] = cached
+            cached = relation.rows_equal_id(attribute, key)
+            self._equal[memo_key] = cached
         return cached
 
-    def prefetch_equal(self, relation: RelationInstance, attribute: str, values: Iterable[object]) -> None:
-        name = relation.schema.name
-        missing = [value for value in values if (name, attribute, value) not in self._equal]
-        if not missing:
+    def prefetch_equal(self, relation: RelationInstance, attribute: str, keys: Iterable[object]) -> None:
+        """Warm the attribute-index entries (and the seed-path memo) for *keys*."""
+        if not self._memoise:
+            relation.rows_equal_ids(attribute, keys)
             return
-        for value, tuples in relation.select_equal_many(attribute, missing).items():
-            self._equal[(name, attribute, value)] = tuple(tuples)
+        for key in keys:
+            self.rows_equal(relation, attribute, key)
 
 
 class _DirectProbes:
     """Uncached probe answers — the reference per-example path.
 
     Interface-compatible with :class:`DatabaseProbeCache`; every call goes
-    straight to the database indexes, exactly as the pre-batching builder did.
+    straight to the database indexes (no frequency memo, no depth tables),
+    matching the cost profile of the pre-batching builder.
     """
 
     def __init__(self, database: DatabaseInstance) -> None:
         self.database = database
 
-    def value_frequency(self, value: object) -> int:
-        return self.database.value_frequency(value)
+    def value_frequency(self, key: object) -> int:
+        return self.database.id_frequency(key)
 
-    def rows_any(self, relation: RelationInstance, value: object) -> set[int]:
-        return relation.rows_with_value(value)
+    def rows_any(self, relation: RelationInstance, key: object) -> frozenset[int]:
+        return relation.rows_with_id(key)
 
-    def tuples_equal(self, relation: RelationInstance, attribute: str, value: object) -> tuple[Tuple, ...]:
-        return tuple(relation.select_equal(attribute, value))
+    def rows_equal(self, relation: RelationInstance, attribute: str, key: object) -> tuple[int, ...]:
+        return relation.rows_equal_id(attribute, key)
 
 
 class _ChaseState:
-    """Mutable per-example chase state (``M``, ``I_e``, the frontier)."""
+    """Mutable per-example chase state (``M``, ``I_e``, the frontier) — id-keyed."""
 
-    __slots__ = ("example", "sampler", "known_constants", "constants_at", "seen_tuples", "result", "frontier")
+    __slots__ = ("example", "sampler", "known_constants", "constants_at", "seen_rows", "result", "frontier")
 
     def __init__(self, example: Example, sampler: Sampler) -> None:
         self.example = example
         self.sampler = sampler
-        self.known_constants: set[object] = set()
-        self.constants_at: dict[tuple[str, str], set[object]] = {}
-        self.seen_tuples: set[Tuple] = set()
+        #: value ids of every constant seen so far (``M``).
+        self.known_constants: set = set()
+        #: (relation, attribute) → value ids known to occur there.
+        self.constants_at: dict[tuple[str, str], set] = {}
+        #: (relation name, canonical row) of every gathered tuple —
+        #: value-level deduplication (duplicate rows share a canonical row),
+        #: exactly like the former Tuple-keyed seen set but on integers.
+        self.seen_rows: set[tuple[str, int]] = set()
         self.result = RelevantTuples()
-        self.frontier: set[object] = set()
+        #: value ids driving the next depth's lookups.
+        self.frontier: set = set()
 
-    def remember(self, relation_name: str, attribute_name: str, value: object) -> None:
-        if value is None:
-            return
-        self.known_constants.add(value)
-        self.constants_at.setdefault((relation_name, attribute_name), set()).add(value)
+    def remember(self, relation_name: str, attribute_name: str, key: object) -> None:
+        self.known_constants.add(key)
+        self.constants_at.setdefault((relation_name, attribute_name), set()).add(key)
 
 
 class FrontierChase:
@@ -277,16 +296,23 @@ class FrontierChase:
         self.probes = probes or DatabaseProbeCache(problem.database)
         self.cache = cache or SaturationCache()
         self.batched = batched
+        self._interner = problem.database.interner
+        #: (md name, value id) → decoded top-k partner values.
         self._partner_cache: dict[tuple[str, object], tuple[object, ...]] = {}
-        #: value → chaseability verdict; valid per chase (fixed config limit).
+        #: value id → chaseability verdict; valid per chase (fixed config limit).
         self._chaseable_memo: dict[object, bool] = {}
+        #: value id → canonical sort key for order-sensitive iterations.
+        self._sort_keys: dict[object, str] = {}
 
     # ------------------------------------------------------------------ #
     # public entry points
     # ------------------------------------------------------------------ #
+    def _cache_key(self, example: Example) -> tuple:
+        return self.problem.database.intern_values(example.values)
+
     def relevant(self, example: Example) -> RelevantTuples:
         """The (cached) relevant tuples of one example."""
-        cached = self.cache.get(example.values)
+        cached = self.cache.get(self._cache_key(example))
         if cached is not None:
             return cached
         return self.relevant_many([example])[0]
@@ -299,19 +325,20 @@ class FrontierChase:
         probes, then advances each example's state against the filled cache.
         Already-cached examples are simply looked up.
         """
-        pending: dict[tuple[object, ...], Example] = {}
-        for example in examples:
-            if example.values not in self.cache and example.values not in pending:
-                pending[example.values] = example
+        keys = [self._cache_key(example) for example in examples]
+        pending: dict[tuple, Example] = {}
+        for key, example in zip(keys, examples):
+            if key not in self.cache and key not in pending:
+                pending[key] = example
         if pending:
             if self.batched:
-                self._chase_batch(list(pending.values()))
+                self._chase_batch(list(pending.items()))
             else:
-                for example in pending.values():
-                    self.cache.store(example.values, self.relevant_serial(example))
+                for key, example in pending.items():
+                    self.cache.store(key, self.relevant_serial(example))
         results = []
-        for example in examples:
-            cached = self.cache.get(example.values)
+        for key in keys:
+            cached = self.cache.get(key)
             assert cached is not None
             results.append(cached)
         return results
@@ -320,9 +347,9 @@ class FrontierChase:
         """Reference per-example chase without any shared caching.
 
         Probes go straight to the database indexes and nothing is memoised —
-        the exact cost profile of the pre-batching builder, kept as the
-        baseline that ``benchmarks/bench_saturation_batch.py`` measures
-        against and that equivalence tests compare with.
+        the cost profile of the pre-batching builder, kept as the baseline
+        that ``benchmarks/bench_saturation_batch.py`` measures against and
+        that equivalence tests compare with.
         """
         probes = _DirectProbes(self.problem.database)
         state = self._new_state(example, probes, memo=None)
@@ -333,46 +360,54 @@ class FrontierChase:
         return state.result
 
     def chaseable(self, value: object) -> bool:
-        """Should *value* drive lookups and joins?  (See :meth:`_chaseable`.)"""
-        return self._chaseable(value, self.probes, self._chaseable_memo)
+        """Should *value* drive lookups and joins?  (See :meth:`_chaseable`.)
+
+        Value-level entry point used at the clause-assembly boundary; the
+        chase itself runs the id-level test.
+        """
+        key = self.problem.database.id_of(value)
+        if key == MISSING_ID and self._interner.interned:
+            # Never stored anywhere: frequency 0, so only the type test applies.
+            return isinstance(value, str)
+        return self._chaseable(key, self.probes, self._chaseable_memo)
 
     # ------------------------------------------------------------------ #
     # the batched chase
     # ------------------------------------------------------------------ #
-    def _chase_batch(self, examples: list[Example]) -> None:
+    def _chase_batch(self, pending: list[tuple[tuple, Example]]) -> None:
         probes = self.probes
         memo = self._chaseable_memo
-        states = [self._new_state(example, probes, memo) for example in examples]
+        states = [(key, self._new_state(example, probes, memo)) for key, example in pending]
         for _ in range(self.config.iterations):
-            active = [state for state in states if state.frontier]
+            active = [state for _, state in states if state.frontier]
             if not active:
                 break
             tables = self._prefetch_depth(active)
             for state in active:
                 self._advance(state, probes, tables, memo)
-        for state in states:
-            self.cache.store(state.example.values, state.result)
+        for key, state in states:
+            self.cache.store(key, state.result)
 
-    def _prefetch_depth(self, states: Sequence[_ChaseState]) -> dict[str, dict[object, frozenset[int] | set[int]]]:
+    def _prefetch_depth(self, states: Sequence[_ChaseState]) -> dict[str, dict[object, frozenset[int]]]:
         """Resolve the probes this depth is known to need, one index walk each.
 
-        Exact-match probes: the union of the active frontiers, against every
-        allowed relation — returned as one value→rows table per relation, so
-        distributing rows to examples is a plain dictionary lookup.  MD
+        Exact-match probes: the union of the active frontier ids, against
+        every allowed relation — returned as one id→rows table per relation,
+        so distributing rows to examples is a plain dictionary lookup.  MD
         probes: the union of every example's ``search_values`` *as of depth
         start*.  Constants recorded midway through the depth (a tuple sampled
         by an earlier relation putting a frontier value into a premise
         position) can add search values the prefetch did not see — those fall
-        back to the same shared caches, which compute on miss, so prefetching
-        a depth-start subset is purely an optimisation and never a
-        correctness concern.
+        back to the same index-level caches, which compute on miss, so
+        prefetching a depth-start subset is purely an optimisation and never
+        a correctness concern.
         """
-        union_frontier: set[object] = set()
+        union_frontier: set = set()
         for state in states:
             union_frontier |= state.frontier
         database = self.problem.database
         probe_mds = self.config.use_mds and not self.config.exact_match_only
-        tables: dict[str, dict[object, frozenset[int] | set[int]]] = {}
+        tables: dict[str, dict[object, frozenset[int]]] = {}
         for relation in database:
             if not self._relation_allowed(relation.schema):
                 continue
@@ -388,18 +423,20 @@ class FrontierChase:
                     continue
                 other_relation = md.other_relation(relation_name)
                 to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
-                search_values: set[object] = set()
+                search_keys: set = set()
                 for state in states:
                     known = state.constants_at.get((other_relation, from_attribute))
                     if known:
-                        search_values |= known & state.frontier
-                partners_needed: set[object] = set()
-                for value in search_values:
-                    for partner in self._partners(index, md.name, value):
+                        search_keys |= known & state.frontier
+                partner_keys: set = set()
+                id_of = self._interner.id_of
+                for key in search_keys:
+                    value = self._interner.value_of(key)
+                    for partner in self._partners(index, md.name, key, value):
                         if partner != value:
-                            partners_needed.add(partner)
-                if partners_needed:
-                    self.probes.prefetch_equal(relation, to_attribute, partners_needed)
+                            partner_keys.add(id_of(partner))
+                if partner_keys:
+                    self.probes.prefetch_equal(relation, to_attribute, partner_keys)
         return tables
 
     # ------------------------------------------------------------------ #
@@ -408,9 +445,12 @@ class FrontierChase:
     def _new_state(self, example: Example, probes, memo: dict[object, bool] | None) -> _ChaseState:
         state = _ChaseState(example, self._example_sampler(example))
         target = self.problem.target
+        intern = self.problem.database.intern
         for attribute, value in zip(target.attributes, example.values):
-            state.remember(target.name, attribute.name, value)
-        state.frontier = {value for value in state.known_constants if self._chaseable(value, probes, memo)}
+            if value is None:
+                continue
+            state.remember(target.name, attribute.name, intern(value))
+        state.frontier = {key for key in state.known_constants if self._chaseable(key, probes, memo)}
         return state
 
     def _example_sampler(self, example: Example) -> Sampler:
@@ -425,66 +465,72 @@ class FrontierChase:
         memo or ``None``.  Neither changes what is gathered — only where the
         answers come from.
         """
-        next_frontier: set[object] = set()
+        interner = self._interner
+        next_frontier: set = set()
         for relation in self.problem.database:
             if not self._relation_allowed(relation.schema):
                 continue
-            table = tables.get(relation.schema.name) if tables is not None else None
+            relation_name = relation.schema.name
+            table = tables.get(relation_name) if tables is not None else None
             gathered = self._relevant_in_relation(relation, state, probes, table)
-            # De-duplicate tuples reachable along several paths, preferring
-            # the entry that carries similarity evidence (the MD join is
-            # what the clause must be able to express).
-            deduplicated: dict[Tuple, SimilarityEvidence | None] = {}
-            for tup, evidence in gathered:
-                if tup in state.seen_tuples:
+            # De-duplicate tuples *by value* — duplicate rows share a
+            # canonical row, so the test compares integers — preferring the
+            # entry that carries similarity evidence (the MD join is what the
+            # clause must be able to express).
+            deduplicated: dict[int, tuple[int, SimilarityEvidence | None]] = {}
+            seen_rows = state.seen_rows
+            for canonical, row, evidence in gathered:
+                if (relation_name, canonical) in seen_rows:
                     continue
-                if evidence is not None or tup not in deduplicated:
-                    deduplicated[tup] = evidence
+                if evidence is not None or canonical not in deduplicated:
+                    previous = deduplicated.get(canonical)
+                    deduplicated[canonical] = (previous[0] if previous is not None else row, evidence)
             fresh = list(deduplicated.items())
             sampled = state.sampler.sample(fresh, self.config.sample_size)
-            for tup, evidence in sampled:
-                if tup in state.seen_tuples:
+            for canonical, (row, evidence) in sampled:
+                if (relation_name, canonical) in seen_rows:
                     continue
-                state.seen_tuples.add(tup)
-                state.result.tuples.append(tup)
+                seen_rows.add((relation_name, canonical))
+                state.result.tuples.append(relation.tuple_at(row))
                 if evidence is not None:
                     state.result.similarity_evidence.append(evidence)
-                for attribute, value in zip(relation.schema.attributes, tup.values):
-                    if (
-                        value is not None
-                        and value not in state.known_constants
-                        and self._chaseable(value, probes, memo)
-                    ):
-                        next_frontier.add(value)
-                    state.remember(relation.schema.name, attribute.name, value)
+                ids = relation.row_ids(row)
+                for attribute, key in zip(relation.schema.attributes, ids):
+                    if interner.value_of(key) is None:
+                        continue
+                    if key not in state.known_constants and self._chaseable(key, probes, memo):
+                        next_frontier.add(key)
+                    state.remember(relation_name, attribute.name, key)
         state.frontier = next_frontier
 
     def _relevant_in_relation(
         self, relation: RelationInstance, state: _ChaseState, probes, table
-    ) -> list[tuple[Tuple, SimilarityEvidence | None]]:
-        """Tuples of one relation reachable from the example's frontier constants.
+    ) -> list[tuple[int, int, SimilarityEvidence | None]]:
+        """Rows of one relation reachable from the example's frontier constants.
 
-        Each gathered tuple is paired with the similarity evidence that
-        produced it (``None`` for exact matches), so that only tuples
-        surviving the per-relation sampling contribute similarity and repair
-        literals to the clause.
+        Each gathered entry is ``(canonical row, row position, evidence)`` —
+        ``evidence`` is ``None`` for exact matches — so that only tuples
+        surviving the per-relation sampling are materialised as views and
+        contribute similarity and repair literals to the clause.
         """
         rows: set[int] = set()
         if table is not None:
-            for value in state.frontier:
-                value_rows = table.get(value)
-                if value_rows:
-                    rows |= value_rows
+            for key in state.frontier:
+                key_rows = table.get(key)
+                if key_rows:
+                    rows |= key_rows
         else:
-            for value in state.frontier:
-                rows |= probes.rows_any(relation, value)
-        gathered: list[tuple[Tuple, SimilarityEvidence | None]] = [
-            (relation.tuple_at(row), None) for row in sorted(rows)
+            for key in state.frontier:
+                rows |= probes.rows_any(relation, key)
+        canonical = relation.canonical_rows()
+        gathered: list[tuple[int, int, SimilarityEvidence | None]] = [
+            (canonical[row], row, None) for row in sorted(rows)
         ]
 
         if not self.config.use_mds:
             return gathered
 
+        interner = self._interner
         relation_name = relation.schema.name
         for md in self.problem.mds:
             if not md.involves(relation_name):
@@ -493,22 +539,33 @@ class FrontierChase:
             # Constants known to sit in the MD's premise attribute on the
             # *other* side drive the similarity search over this relation.
             to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
-            search_values = state.constants_at.get((other_relation, from_attribute), set()) & state.frontier
-            if not search_values:
+            search_keys = state.constants_at.get((other_relation, from_attribute), _EMPTY_SET) & state.frontier
+            if not search_keys:
                 continue
             index = self.similarity_indexes.get(md.name)
-            for known_value in search_values:
-                for partner in self._similarity_partners(index, md.name, known_value, probes):
+            # Decoded-value order: deterministic and storage-mode independent
+            # (set iteration over ids and over strings would disagree).
+            for known_key in sorted(search_keys, key=self._sort_key):
+                known_value = interner.value_of(known_key)
+                for partner in self._similarity_partners(index, md.name, known_key, known_value, probes):
                     if partner == known_value:
                         # Exact matches already surfaced through the value index.
                         continue
                     evidence = SimilarityEvidence(md.name, known_value, partner)
-                    for tup in probes.tuples_equal(relation, to_attribute, partner):
-                        gathered.append((tup, evidence))
+                    partner_key = interner.id_of(partner)
+                    for row in probes.rows_equal(relation, to_attribute, partner_key):
+                        gathered.append((canonical[row], row, evidence))
         return gathered
 
+    def _sort_key(self, key: object) -> str:
+        cached = self._sort_keys.get(key)
+        if cached is None:
+            cached = repr(self._interner.value_of(key))
+            self._sort_keys[key] = cached
+        return cached
+
     def _similarity_partners(
-        self, index: SimilarityIndex | None, md_name: str, value: object, probes
+        self, index: SimilarityIndex | None, md_name: str, key: object, value: object, probes
     ) -> tuple[object, ...]:
         if self.config.exact_match_only or index is None:
             # Castor-Exact: MD attributes may be joined, but only on equality;
@@ -518,21 +575,22 @@ class FrontierChase:
             # The uncached reference path must not warm (or profit from) the
             # shared partner cache.
             return tuple(index.partners_of(value))
-        return self._partners(index, md_name, value)
+        return self._partners(index, md_name, key, value)
 
-    def _partners(self, index: SimilarityIndex, md_name: str, value: object) -> tuple[object, ...]:
-        """Cached top-``k_m`` partners (the merge in ``matches_of`` is not free)."""
-        key = (md_name, value)
-        cached = self._partner_cache.get(key)
+    def _partners(self, index: SimilarityIndex, md_name: str, key: object, value: object) -> tuple[object, ...]:
+        """Cached top-``k_m`` partners, keyed by (md, value id) — the merge in
+        ``matches_of`` is not free, and an id pair hashes cheaper than a value."""
+        cache_key = (md_name, key)
+        cached = self._partner_cache.get(cache_key)
         if cached is None:
             cached = tuple(index.partners_of(value))
-            self._partner_cache[key] = cached
+            self._partner_cache[cache_key] = cached
         return cached
 
     _MISSING = object()
 
-    def _chaseable(self, value: object, probes, memo: dict[object, bool] | None) -> bool:
-        """Should *value* drive lookups and joins?
+    def _chaseable(self, key: object, probes, memo: dict[object, bool] | None) -> bool:
+        """Should the value behind id *key* drive lookups and joins?
 
         Identifiers and textual values drive the chase.  Purely numeric
         values (years, prices, weights) and values that occur very frequently
@@ -544,16 +602,16 @@ class FrontierChase:
         the mode declarations of classic ILP systems.
         """
         if memo is not None:
-            cached = memo.get(value, self._MISSING)
+            cached = memo.get(key, self._MISSING)
             if cached is not self._MISSING:
                 return cached
-        if not isinstance(value, str):
+        if not isinstance(self._interner.value_of(key), str):
             verdict = False
         else:
             limit = self.config.max_chase_frequency
-            verdict = True if limit is None else probes.value_frequency(value) <= limit
+            verdict = True if limit is None else probes.value_frequency(key) <= limit
         if memo is not None:
-            memo[value] = verdict
+            memo[key] = verdict
         return verdict
 
     def _relation_allowed(self, relation_schema) -> bool:
@@ -562,3 +620,6 @@ class FrontierChase:
         if allowed is None or relation_schema.source is None:
             return True
         return relation_schema.source in allowed
+
+
+_EMPTY_SET: frozenset = frozenset()

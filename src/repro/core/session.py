@@ -94,7 +94,11 @@ class _MdIndexCache:
         self._right_is_target = md.right_relation == target.name
         self._blocker: QGramBlocker | None = None
         self._fixed_distinct: set[object] | None = None
-        #: varying value → every blocked candidate pair, scored, oriented left→right.
+        #: varying value *id* → every blocked candidate pair, scored, oriented
+        #: left→right.  Keyed through the database's interner so repeated
+        #: index assemblies (folds, prediction batches) probe the score cache
+        #: with integer ids instead of re-hashing the example strings.
+        self._interner = database.interner
         self._scored: dict[object, tuple[SimilarityMatch, ...]] = {}
         #: (top_k, threshold) → index, for MDs not involving the target.
         self._static: dict[tuple[int, float], SimilarityIndex] = {}
@@ -172,7 +176,8 @@ class _MdIndexCache:
         ``build`` would score; orientation of the stored match (and of the
         measure call) follows the MD's left→right declaration.
         """
-        cached = self._scored.get(value)
+        key = self._interner.intern(value)
+        cached = self._scored.get(key)
         if cached is None:
             blocker = self._blocker_over_fixed()
             pairs = []
@@ -184,7 +189,7 @@ class _MdIndexCache:
                 score = 1.0 if left == right else self.measure.similarity(left, right)
                 pairs.append(SimilarityMatch(left, right, score))
             cached = tuple(pairs)
-            self._scored[value] = cached
+            self._scored[key] = cached
         return cached
 
 

@@ -1,12 +1,16 @@
 """Main-memory relational engine.
 
 A deliberately small stand-in for the VoltDB instance the paper runs on
-(Section 5): typed schemas, indexed relation instances, conjunctive-query
-evaluation of repaired clauses, and seeded sampling.
+(Section 5): typed schemas, interned columnar relation instances (values
+dictionary-encoded to dense ids, see :mod:`repro.db.interning`),
+copy-on-write overlay instances for repairs (:mod:`repro.db.overlay`),
+conjunctive-query evaluation of repaired clauses, and seeded sampling.
 """
 
 from .index import AttributeIndex, ValueIndex
 from .instance import DatabaseInstance
+from .interning import IdentityInterner, MISSING_ID, ValueInterner
+from .overlay import OverlayInstance, OverlayRelation
 from .query import ClauseEvaluator
 from .relation import RelationInstance
 from .sampling import Sampler
@@ -21,11 +25,16 @@ __all__ = [
     "ClauseEvaluator",
     "DatabaseInstance",
     "DatabaseSchema",
+    "IdentityInterner",
+    "MISSING_ID",
+    "OverlayInstance",
+    "OverlayRelation",
     "RelationInstance",
     "RelationSchema",
     "Sampler",
     "SchemaError",
     "Tuple",
     "ValueIndex",
+    "ValueInterner",
     "coerce_value",
 ]

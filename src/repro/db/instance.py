@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import hashlib
+import sys
 from typing import Callable, Iterable, Iterator, Mapping
 
+from .interning import IdentityInterner, MISSING_ID, ValueInterner
 from .relation import RelationInstance
 from .schema import DatabaseSchema, RelationSchema, SchemaError
 from .tuples import Tuple
@@ -16,17 +18,31 @@ class DatabaseInstance:
     """An instance ``I`` of a database schema ``S`` (Section 2.1).
 
     The instance owns one :class:`RelationInstance` per relation of the
-    schema.  It is the object every other subsystem works against: the
-    bottom-clause constructor runs indexed selections over it, constraint
-    checkers scan it for violations, and repair generation produces new
-    instances from it.
+    schema, plus the **value interner** all of them share: every attribute
+    value is stored once and referred to by a dense integer id in columns,
+    indexes, chase frontiers and cache keys (see :mod:`repro.db.interning`).
+    It is the object every other subsystem works against: the bottom-clause
+    constructor runs indexed selections over it, constraint checkers scan it
+    for violations, and repair generation produces overlays (or new
+    instances) from it.
+
+    ``interned=False`` selects the identity-interner compatibility mode that
+    reproduces the seed string-keyed storage path; it exists for the storage
+    benchmark and equivalence tests and is not meant for production use.
     """
 
-    def __init__(self, schema: DatabaseSchema) -> None:
+    def __init__(self, schema: DatabaseSchema, *, interned: bool = True) -> None:
         self.schema = schema
+        self.interner = ValueInterner() if interned else IdentityInterner()
         self._relations: dict[str, RelationInstance] = {
-            relation_schema.name: RelationInstance(relation_schema) for relation_schema in schema
+            relation_schema.name: RelationInstance(relation_schema, self.interner)
+            for relation_schema in schema
         }
+
+    @property
+    def interned(self) -> bool:
+        """Whether values are dictionary-encoded to dense ids (the default)."""
+        return self.interner.interned
 
     # ------------------------------------------------------------------ #
     # insertion / access
@@ -61,6 +77,32 @@ class DatabaseInstance:
         return {name: len(relation) for name, relation in self._relations.items()}
 
     # ------------------------------------------------------------------ #
+    # interning helpers (id-level API)
+    # ------------------------------------------------------------------ #
+    def intern(self, value: object):
+        """The value id of *value*, assigning one on first sight."""
+        return self.interner.intern(value)
+
+    def id_of(self, value: object):
+        """The value id of *value* (:data:`~repro.db.interning.MISSING_ID` if unseen)."""
+        return self.interner.id_of(value)
+
+    def intern_values(self, values: Iterable[object]) -> tuple:
+        """Intern a value sequence to an id tuple — the canonical cache key.
+
+        The saturation and coverage caches key their per-example entries on
+        this: an id tuple hashes and compares as machine integers instead of
+        re-hashing the example's strings on every lookup.
+        """
+        return self.interner.intern_many(values)
+
+    def id_frequency(self, key: object) -> int:
+        """Number of tuples (across all relations) containing value id *key*."""
+        if key == MISSING_ID and self.interner.interned:
+            return 0
+        return sum(len(relation.rows_with_id(key)) for relation in self._relations.values())
+
+    # ------------------------------------------------------------------ #
     # queries used by Algorithm 2
     # ------------------------------------------------------------------ #
     def select_equal(self, relation_name: str, attribute_name: str, value: object) -> list[Tuple]:
@@ -80,36 +122,49 @@ class DatabaseInstance:
 
     def value_frequency(self, value: object) -> int:
         """Number of tuples (across all relations) containing *value* in any attribute."""
-        return sum(len(relation.rows_with_value(value)) for relation in self._relations.values())
+        return self.id_frequency(self.interner.id_of(value))
 
     # ------------------------------------------------------------------ #
     # transformation (repair generation)
     # ------------------------------------------------------------------ #
     def copy(self) -> "DatabaseInstance":
-        clone = DatabaseInstance(self.schema)
-        for name, relation in self._relations.items():
-            clone._relations[name] = relation.copy()
+        """An independent copy sharing this instance's (append-only) interner."""
+        clone = DatabaseInstance.__new__(DatabaseInstance)
+        clone.schema = self.schema
+        clone.interner = self.interner
+        clone._relations = {name: relation.copy() for name, relation in self._relations.items()}
         return clone
 
     def map_relation(self, relation_name: str, transform: Callable[[Tuple], Tuple]) -> "DatabaseInstance":
-        """Return a copy with *transform* applied to every tuple of one relation."""
-        clone = DatabaseInstance(self.schema)
-        for name, relation in self._relations.items():
-            if name == relation_name:
-                clone._relations[name] = relation.map_tuples(transform)
-            else:
-                clone._relations[name] = relation.copy()
+        """Return a copy with *transform* applied to every tuple of one relation.
+
+        This is the eager reference path; repair generation goes through the
+        copy-on-write overlays of :mod:`repro.db.overlay` instead.
+        """
+        clone = DatabaseInstance.__new__(DatabaseInstance)
+        clone.schema = self.schema
+        clone.interner = self.interner
+        clone._relations = {
+            name: (relation.map_tuples(transform) if name == relation_name else relation.copy())
+            for name, relation in self._relations.items()
+        }
         return clone
 
     def replace_value_globally(self, old: object, new: object) -> "DatabaseInstance":
         """Return a copy in which every occurrence of *old* is replaced by *new*.
 
         This is the semantics of enforcing an MD (Definition 2.2): the two
-        unified values are made identical everywhere they appear.
+        unified values are made identical everywhere they appear.  Eager
+        reference path — :meth:`repro.db.overlay.OverlayInstance.replace_value_globally`
+        computes the same result as a tuple-level delta.
         """
-        clone = DatabaseInstance(self.schema)
-        for name, relation in self._relations.items():
-            clone._relations[name] = relation.map_tuples(lambda tup: tup.replace_value(old, new))
+        clone = DatabaseInstance.__new__(DatabaseInstance)
+        clone.schema = self.schema
+        clone.interner = self.interner
+        clone._relations = {
+            name: relation.map_tuples(lambda tup: tup.replace_value(old, new))
+            for name, relation in self._relations.items()
+        }
         return clone
 
     def with_rows(self, rows: Mapping[str, Iterable]) -> "DatabaseInstance":
@@ -118,6 +173,19 @@ class DatabaseInstance:
         for relation_name, relation_rows in rows.items():
             clone.insert_many(relation_name, relation_rows)
         return clone
+
+    def with_storage(self, *, interned: bool) -> "DatabaseInstance":
+        """Rebuild this instance's contents under the requested storage mode.
+
+        Row order (and therefore the content fingerprint) is preserved; only
+        the physical encoding changes.  Used by the storage benchmark to pit
+        the interned-columnar core against the seed string path on identical
+        contents.
+        """
+        rebuilt = DatabaseInstance(self.schema, interned=interned)
+        for name, relation in self._relations.items():
+            rebuilt.insert_many(name, (tup.values for tup in relation))
+        return rebuilt
 
     # ------------------------------------------------------------------ #
     # content identity
@@ -129,7 +197,9 @@ class DatabaseInstance:
         tuples in the same insertion order, so the digest witnesses the
         byte-identical reproducibility the scenario generator promises for a
         fixed seed.  Relations are visited in sorted-name order, making the
-        digest independent of schema declaration order.
+        digest independent of schema declaration order — and the digest is
+        computed over decoded values, making it independent of the storage
+        mode and of interner id assignment.
         """
         digest = hashlib.sha256()
         for name in sorted(self._relations):
@@ -145,6 +215,58 @@ class DatabaseInstance:
     # ------------------------------------------------------------------ #
     # reporting
     # ------------------------------------------------------------------ #
+    def stats(self) -> dict[str, object]:
+        """Storage statistics: rows, distinct values, approximate resident bytes.
+
+        Byte counts are estimates from ``sys.getsizeof`` over the owned
+        containers (columns, row-key sets, index dictionaries, the interner's
+        dictionary and value list) — close enough to compare storage modes
+        and watch growth, not an exact heap measurement.
+        """
+        rows = self.tuple_count()
+        column_bytes = 0
+        index_bytes = 0
+        distinct_ids: set = set()
+        for relation in self._relations.values():
+            for position in range(relation.schema.arity):
+                column = relation.column_ids(position)
+                column_bytes += sys.getsizeof(column)
+                index = relation._attribute_indexes[position]
+                index_bytes += sys.getsizeof(index._entries)
+                index_bytes += sum(
+                    sys.getsizeof(entry) for entry in index._entries.values() if type(entry) is not int
+                )
+                distinct_ids.update(index._entries)
+            value_entries = relation._value_index._entries
+            index_bytes += sys.getsizeof(value_entries)
+            for entry in value_entries.values():
+                if type(entry) is int:
+                    continue
+                index_bytes += sys.getsizeof(entry)
+                if type(entry) is set:  # seed pair index: count the per-cell pair tuples
+                    index_bytes += sum(sys.getsizeof(pair) for pair in entry)
+            if relation._row_keys is not None:
+                column_bytes += sys.getsizeof(relation._row_keys)
+                column_bytes += sum(sys.getsizeof(key) for key in relation._row_keys)
+        interner_bytes = 0
+        if self.interned:
+            interner_bytes = (
+                sys.getsizeof(self.interner._str_ids)
+                + sys.getsizeof(self.interner._other_ids)
+                + sys.getsizeof(self.interner._values)
+                + sum(sys.getsizeof(value) for value in self.interner.values())
+            )
+        return {
+            "interned": self.interned,
+            "relations": len(self._relations),
+            "rows": rows,
+            "distinct_values": len(self.interner) if self.interned else len(distinct_ids),
+            "approx_column_bytes": column_bytes,
+            "approx_index_bytes": index_bytes,
+            "approx_interner_bytes": interner_bytes,
+            "approx_total_bytes": column_bytes + index_bytes + interner_bytes,
+        }
+
     def describe(self) -> str:
         lines = [f"{name}: {len(relation)} tuples" for name, relation in sorted(self._relations.items())]
         return "\n".join(lines)

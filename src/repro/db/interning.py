@@ -1,0 +1,158 @@
+"""Per-instance value dictionaries: value ⇄ dense integer id.
+
+The storage core stores every attribute value exactly once and refers to it
+everywhere else — columns, indexes, chase frontiers, cache keys — by a dense
+integer id.  This is the enabling change for cheap storage and cheap probes:
+
+* hashing and comparing an ``int`` is O(1) and allocation-free, while the raw
+  string values the engine previously carried through every index probe and
+  frontier set pay per-character hashing and equality;
+* equal values loaded from different rows (or different relations) collapse
+  to a single Python object, so the decoded views the clause layer sees hit
+  CPython's pointer-equality fast path on comparison;
+* dense ids make columns plain integer arrays, which is what later work needs
+  to ship, mmap, or swap columns for numpy buffers without touching the
+  learner (see ROADMAP "Open items").
+
+Two interners share one interface:
+
+* :class:`ValueInterner` — the real dictionary (interned-columnar mode, the
+  default for every :class:`~repro.db.instance.DatabaseInstance`);
+* :class:`IdentityInterner` — maps every value to itself.  Storage built on
+  it behaves exactly like the seed string-keyed engine (raw values as index
+  keys and frontier members, eager tuple materialisation), which is the
+  reference path ``benchmarks/bench_storage_intern.py`` measures the interned
+  core against.
+
+Ids are only meaningful relative to the interner that produced them.
+Interners are append-only and never forget a value, so an id, once handed
+out, stays valid for the lifetime of every instance sharing the dictionary —
+including copy-on-write overlays, which share their base instance's interner
+by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["ValueInterner", "IdentityInterner", "MISSING_ID"]
+
+#: Id returned by :meth:`ValueInterner.id_of` for values never interned.
+#: Negative, so it misses every id-keyed dict/index probe naturally — call
+#: sites need no branching to handle unseen values.
+MISSING_ID = -1
+
+
+class ValueInterner:
+    """A bidirectional dictionary assigning dense integer ids to values.
+
+    Values must be hashable (the engine stores strings, numbers, booleans and
+    ``None``).  Ids are assigned in first-seen order starting at 0, so a
+    deterministic load order yields a deterministic dictionary.
+
+    Ids are **type-aware**: Python's dict equality would fold ``1``, ``1.0``
+    and ``True`` into one key, and decoding would then silently rewrite
+    booleans to integers (and similar).  Interning keys on
+    ``(type, value)`` — with a fast path for strings, the dominant case — so
+    every stored value round-trips with its exact type.  Strings are keyed
+    directly: equal strings share one id and one object, which is the whole
+    point of the dictionary.
+    """
+
+    __slots__ = ("_str_ids", "_other_ids", "_values")
+
+    #: Interned storage: ids are dense, so decoding is a list index.
+    interned = True
+
+    def __init__(self, values: Iterable[Hashable] = ()) -> None:
+        self._str_ids: dict[str, int] = {}
+        self._other_ids: dict[tuple[type, Hashable], int] = {}
+        self._values: list[Hashable] = []
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: Hashable) -> int:
+        """Return the id of *value*, assigning the next dense id on first sight."""
+        if type(value) is str:
+            vid = self._str_ids.get(value)
+            if vid is None:
+                vid = len(self._values)
+                self._str_ids[value] = vid
+                self._values.append(value)
+            return vid
+        key = (value.__class__, value)
+        vid = self._other_ids.get(key)
+        if vid is None:
+            vid = len(self._values)
+            self._other_ids[key] = vid
+            self._values.append(value)
+        return vid
+
+    def intern_many(self, values: Iterable[Hashable]) -> tuple[int, ...]:
+        intern = self.intern
+        return tuple(intern(value) for value in values)
+
+    def id_of(self, value: Hashable) -> int:
+        """The id of *value*, or :data:`MISSING_ID` when it was never interned."""
+        if type(value) is str:
+            return self._str_ids.get(value, MISSING_ID)
+        return self._other_ids.get((value.__class__, value), MISSING_ID)
+
+    def value_of(self, vid: int) -> Hashable:
+        """Decode one id back to its value (the single shared object)."""
+        return self._values[vid]
+
+    def decode_many(self, ids: Iterable[int]) -> tuple[Hashable, ...]:
+        values = self._values
+        return tuple(values[vid] for vid in ids)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return self.id_of(value) != MISSING_ID
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def values(self) -> Iterator[Hashable]:
+        """All interned values in id order."""
+        return iter(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValueInterner({len(self)} values)"
+
+
+class IdentityInterner:
+    """Interface-compatible no-op interner: every value is its own id.
+
+    Storage built on an identity interner keys indexes, frontiers and caches
+    on the raw values, exactly as the seed string path did.  It holds no
+    state, so it adds no memory and ``id_of`` is total (there is no notion of
+    an unseen value).
+    """
+
+    __slots__ = ()
+
+    interned = False
+
+    def intern(self, value: Hashable) -> Hashable:
+        return value
+
+    def intern_many(self, values: Iterable[Hashable]) -> tuple[Hashable, ...]:
+        return tuple(values)
+
+    def id_of(self, value: Hashable) -> Hashable:
+        return value
+
+    def value_of(self, vid: Hashable) -> Hashable:
+        return vid
+
+    def decode_many(self, ids: Iterable[Hashable]) -> tuple[Hashable, ...]:
+        return tuple(ids)
+
+    def __contains__(self, value: Hashable) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def __len__(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "IdentityInterner()"

@@ -1,12 +1,35 @@
-"""Relation instances: tuple storage plus per-attribute indexes."""
+"""Relation instances: columnar id storage plus per-attribute indexes.
+
+Since the interned storage core a relation stores its tuples as **columns of
+value ids**: one integer array per attribute, all ids drawn from the owning
+database instance's :class:`~repro.db.interning.ValueInterner`.  The indexes
+(:class:`~repro.db.index.AttributeIndex` per attribute, one
+:class:`~repro.db.index.ValueIndex` across attributes) key on the same ids,
+so every probe of the chase and the coverage machinery hashes integers.
+:class:`~repro.db.tuples.Tuple` objects are lightweight views created lazily
+on first access to a row — a relation that is only ever probed by id never
+materialises a tuple at all — and duplicate detection probes the first
+attribute's index instead of keeping a per-row key set.
+
+With an :class:`~repro.db.interning.IdentityInterner` (``interned=False`` on
+the database instance) "ids" are the raw values and the relation reproduces
+the **seed string path**: raw values as column entries and index keys, the
+seed's :class:`~repro.db.index.PairValueIndex` (one ``(position, row)`` pair
+per cell, row sets rebuilt per probe), an explicit per-row key set, and
+eagerly materialised tuple views.  ``benchmarks/bench_storage_intern.py``
+measures the interned core against exactly that mode.
+"""
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Mapping
 
-from .index import AttributeIndex, ValueIndex
+from .index import AttributeIndex, PairValueIndex, ValueIndex
+from .interning import IdentityInterner, ValueInterner
 from .schema import RelationSchema
 from .tuples import Tuple
+from .types import coerce_value
 
 __all__ = ["RelationInstance"]
 
@@ -16,17 +39,41 @@ class RelationInstance:
 
     Tuples are stored positionally; positions ("rows") are stable for the
     lifetime of the instance and are what the indexes refer to.  The engine
-    is insert-only — repairs build *new* instances rather than mutating an
-    existing one, mirroring the paper's treatment of repairs as separate
-    database instances.
+    is insert-only — repairs build *new* instances (or copy-on-write overlays,
+    see :mod:`repro.db.overlay`) rather than mutating an existing one,
+    mirroring the paper's treatment of repairs as separate database instances.
     """
 
-    def __init__(self, schema: RelationSchema) -> None:
+    __slots__ = (
+        "schema",
+        "interner",
+        "_columns",
+        "_row_keys",
+        "_attribute_indexes",
+        "_value_index",
+        "_views",
+        "_dup_cache",
+        "_canonical",
+    )
+
+    def __init__(self, schema: RelationSchema, interner: ValueInterner | IdentityInterner | None = None) -> None:
         self.schema = schema
-        self._tuples: list[Tuple] = []
+        self.interner = interner if interner is not None else ValueInterner()
+        interned = self.interner.interned
+        self._columns: list = [array("q") if interned else [] for _ in schema.attributes]
+        #: Seed-path structure (identity mode only); the interned core answers
+        #: membership through the first attribute's index instead.
+        self._row_keys: set[tuple] | None = None if interned else set()
         self._attribute_indexes: list[AttributeIndex] = [AttributeIndex() for _ in schema.attributes]
-        self._value_index = ValueIndex()
-        self._tuple_set: set[Tuple] = set()
+        self._value_index = ValueIndex() if interned else PairValueIndex()
+        #: Lazily materialised tuple views, one slot per row (eager with an
+        #: identity interner, matching the seed path's allocation profile).
+        self._views: list[Tuple | None] = []
+        #: Memoised has_duplicate_rows() verdict: (row count it was computed
+        #: at, verdict).  Interned mode only; identity mode reads _row_keys.
+        self._dup_cache: tuple[int, bool] | None = None
+        #: Lazily built canonical-row map (see :meth:`canonical_rows`).
+        self._canonical: list[int] | None = None
 
     # ------------------------------------------------------------------ #
     # insertion
@@ -35,22 +82,64 @@ class RelationInstance:
         """Insert a tuple and update indexes.
 
         With ``deduplicate=True`` an exactly identical tuple is not stored
-        twice (the stored original is returned).  Duplicates arising from
+        twice (the offered tuple is returned).  Duplicates arising from
         *heterogeneous representations* are of course kept — resolving those
         is the learner's job, not the storage layer's.
         """
-        tup = values if isinstance(values, Tuple) else Tuple.for_schema(self.schema, values)
-        if tup.relation != self.schema.name:
-            raise ValueError(f"tuple belongs to {tup.relation!r}, not {self.schema.name!r}")
-        if deduplicate and tup in self._tuple_set:
-            return tup
-        row = len(self._tuples)
-        self._tuples.append(tup)
-        self._tuple_set.add(tup)
-        for position, value in enumerate(tup.values):
-            self._attribute_indexes[position].add(value, row)
-            self._value_index.add(value, position, row)
-        return tup
+        interner = self.interner
+        view: Tuple | None = None
+        if isinstance(values, Tuple):
+            if values.relation != self.schema.name:
+                raise ValueError(f"tuple belongs to {values.relation!r}, not {self.schema.name!r}")
+            view = values
+            ids = values.interned_ids(interner)
+            if ids is None:
+                ids = interner.intern_many(values.values)
+        else:
+            ids = self._intern_row(values)
+        if deduplicate and self._contains_ids(ids):
+            return view if view is not None else Tuple.from_ids(self.schema.name, ids, interner)
+        row = len(self._views)
+        if self._row_keys is not None:
+            self._row_keys.add(ids)
+        value_index = self._value_index
+        if type(value_index) is PairValueIndex:
+            for position, key in enumerate(ids):
+                self._columns[position].append(key)
+                self._attribute_indexes[position].add(key, row)
+                value_index.add(key, position, row)
+        else:
+            for position, key in enumerate(ids):
+                self._columns[position].append(key)
+                self._attribute_indexes[position].add(key, row)
+            if len(set(ids)) == len(ids):
+                for key in ids:
+                    value_index.add(key, row)
+            else:
+                for key in dict.fromkeys(ids):
+                    value_index.add(key, row)
+        if view is None and not interner.interned:
+            view = Tuple.from_ids(self.schema.name, ids, interner)
+        self._views.append(view)
+        self._dup_cache = None
+        self._canonical = None
+        return view if view is not None else Tuple.from_ids(self.schema.name, ids, interner)
+
+    def _intern_row(self, values: Mapping[str, object] | tuple | list) -> tuple:
+        """Coerce raw values to the schema's attribute types and intern them."""
+        schema = self.schema
+        if isinstance(values, Mapping):
+            ordered = [values.get(attribute.name) for attribute in schema.attributes]
+        else:
+            if len(values) != schema.arity:
+                # Route through the schema-aware constructor for its error.
+                return self.interner.intern_many(Tuple.for_schema(schema, values).values)
+            ordered = values
+        intern = self.interner.intern
+        return tuple(
+            intern(coerce_value(value, attribute.type))
+            for value, attribute in zip(ordered, schema.attributes)
+        )
 
     def insert_many(self, rows: Iterable[Mapping[str, object] | tuple | list | Tuple], *, deduplicate: bool = False) -> int:
         """Insert many rows; returns the number of tuples actually stored.
@@ -59,37 +148,73 @@ class RelationInstance:
         within *rows*) are skipped, and the returned count reflects only the
         tuples that entered storage — not the number of rows offered.
         """
-        before = len(self._tuples)
+        before = len(self._views)
         for row in rows:
             self.insert(row, deduplicate=deduplicate)
-        return len(self._tuples) - before
+        return len(self._views) - before
+
+    def _contains_ids(self, ids: tuple) -> bool:
+        """Whether an identical row is already stored.
+
+        Identity mode keeps the seed's per-row key set; the interned core
+        probes the first attribute's index and compares the (usually one)
+        candidate row's ids instead of spending a tuple per row.
+        """
+        if self._row_keys is not None:
+            return ids in self._row_keys
+        columns = self._columns
+        # rows_view, not rows_for: a frozen probe result would be thawed
+        # again by the add() that usually follows, costing a copy per insert.
+        for row in self._attribute_indexes[0].rows_view(ids[0]):
+            if all(column[row] == key for column, key in zip(columns, ids)):
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # access
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._tuples)
+        return len(self._views)
 
     def __iter__(self) -> Iterator[Tuple]:
-        return iter(self._tuples)
+        for row in range(len(self._views)):
+            yield self.tuple_at(row)
 
     def __contains__(self, tup: Tuple) -> bool:
-        return tup in self._tuple_set
+        if tup.relation != self.schema.name:
+            return False
+        ids = tup.interned_ids(self.interner)
+        if ids is None:
+            ids = tuple(self.interner.id_of(value) for value in tup.values)
+        return self._contains_ids(ids)
 
     def tuple_at(self, row: int) -> Tuple:
-        return self._tuples[row]
+        view = self._views[row]
+        if view is None:
+            view = Tuple.from_ids(self.schema.name, self.row_ids(row), self.interner)
+            self._views[row] = view
+        return view
 
     def tuples(self) -> list[Tuple]:
-        """Return a copy of the tuple list."""
-        return list(self._tuples)
+        """Return a (materialised) copy of the tuple list."""
+        return [self.tuple_at(row) for row in range(len(self._views))]
+
+    def row_ids(self, row: int) -> tuple:
+        """The id row at *row*: one value id per attribute, in schema order."""
+        return tuple(column[row] for column in self._columns)
+
+    def column_ids(self, position: int):
+        """The raw id column of one attribute (read-only by convention)."""
+        return self._columns[position]
 
     # ------------------------------------------------------------------ #
-    # index-backed lookups
+    # index-backed lookups (value-level API)
     # ------------------------------------------------------------------ #
     def select_equal(self, attribute_name: str, value: object) -> list[Tuple]:
         """``σ_{A = value}(R)`` using the attribute hash index."""
         position = self.schema.position_of(attribute_name)
-        return [self._tuples[row] for row in self._attribute_indexes[position].rows_for(value)]
+        rows = self._attribute_indexes[position].rows_for(self.interner.id_of(value))
+        return [self.tuple_at(row) for row in rows]
 
     def select_equal_many(self, attribute_name: str, values: Iterable[object]) -> dict[object, list[Tuple]]:
         """``σ_{A = v}(R)`` for every ``v`` in *values* in one call.
@@ -99,16 +224,20 @@ class RelationInstance:
         without falling back to per-value probes.
         """
         position = self.schema.position_of(attribute_name)
-        grouped = self._attribute_indexes[position].rows_for_many(values)
-        return {value: [self._tuples[row] for row in rows] for value, rows in grouped.items()}
+        index = self._attribute_indexes[position]
+        id_of = self.interner.id_of
+        return {
+            value: [self.tuple_at(row) for row in index.rows_for(id_of(value))] for value in values
+        }
 
     def select_any_attribute(self, values: Iterable[object]) -> list[Tuple]:
         """``σ_{A ∈ M}(R)`` for every attribute A — tuples containing any value in *values*."""
-        rows = self._value_index.rows_for_any(values)
-        return [self._tuples[row] for row in sorted(rows)]
+        id_of = self.interner.id_of
+        rows = self._value_index.rows_for_any(id_of(value) for value in values)
+        return [self.tuple_at(row) for row in sorted(rows)]
 
-    def rows_with_value(self, value: object) -> set[int]:
-        return self._value_index.rows_for(value)
+    def rows_with_value(self, value: object) -> frozenset[int]:
+        return self._value_index.rows_for(self.interner.id_of(value))
 
     def rows_with_values(self, values: Iterable[object]) -> dict[object, frozenset[int]]:
         """Rows containing each value in any attribute, resolved in one call.
@@ -117,27 +246,91 @@ class RelationInstance:
         frontier chase uses it to probe the union of many examples' frontier
         values once per chase depth instead of once per example.
         """
-        return self._value_index.rows_for_many(values)
+        id_of = self.interner.id_of
+        return {value: self._value_index.rows_for(id_of(value)) for value in values}
 
     def distinct_values(self, attribute_name: str) -> set[object]:
         position = self.schema.position_of(attribute_name)
-        return set(self._attribute_indexes[position].values())
+        value_of = self.interner.value_of
+        return {value_of(key) for key in self._attribute_indexes[position].values()}
 
     def contains_value(self, value: object) -> bool:
-        return value in self._value_index
+        return self.interner.id_of(value) in self._value_index
+
+    # ------------------------------------------------------------------ #
+    # index-backed lookups (id-level API — what the chase runs on)
+    # ------------------------------------------------------------------ #
+    def rows_equal_id(self, attribute_name: str, key: object) -> tuple[int, ...]:
+        """Rows whose attribute holds value id *key*, ascending."""
+        position = self.schema.position_of(attribute_name)
+        return self._attribute_indexes[position].rows_for(key)
+
+    def rows_equal_ids(self, attribute_name: str, keys: Iterable[object]) -> dict[object, tuple[int, ...]]:
+        position = self.schema.position_of(attribute_name)
+        return self._attribute_indexes[position].rows_for_many(keys)
+
+    def rows_with_id(self, key: object) -> frozenset[int]:
+        """Rows containing value id *key* in any attribute."""
+        return self._value_index.rows_for(key)
+
+    def rows_with_ids(self, keys: Iterable[object]) -> dict[object, frozenset[int]]:
+        return self._value_index.rows_for_many(keys)
+
+    def contains_id(self, key: object) -> bool:
+        return key in self._value_index
+
+    def has_duplicate_rows(self) -> bool:
+        """Whether at least two stored rows are exactly identical."""
+        if self._row_keys is not None:
+            return len(self._row_keys) < len(self._views)
+        count = len(self._views)
+        if self._dup_cache is None or self._dup_cache[0] != count:
+            distinct = len(set(zip(*self._columns))) if count else 0
+            self._dup_cache = (count, distinct < count)
+        return self._dup_cache[1]
+
+    def canonical_rows(self) -> list[int]:
+        """Row → first row holding identical contents, for value-level dedup.
+
+        The chase de-duplicates gathered tuples *by value* (a duplicate row
+        reached along another path must not enter a clause twice); mapping
+        every row to its first identical row lets that test compare two
+        integers instead of building and hashing an id row per candidate.
+        Computed lazily in one pass and cached — the map is a pure function
+        of the (insert-only) contents.
+        """
+        canonical = self._canonical
+        if canonical is None or len(canonical) != len(self._views):
+            first_of: dict[tuple, int] = {}
+            canonical = []
+            for row in range(len(self._views)):
+                ids = self.row_ids(row)
+                canonical.append(first_of.setdefault(ids, row))
+            self._canonical = canonical
+        return canonical
 
     # ------------------------------------------------------------------ #
     # copies (used by repair generation)
     # ------------------------------------------------------------------ #
     def copy(self) -> "RelationInstance":
-        clone = RelationInstance(self.schema)
-        clone.insert_many(self._tuples)
+        """A structurally shared copy over the same interner.
+
+        Columns and index entries are duplicated (immutable index entries are
+        shared until the copy diverges); nothing is decoded or re-interned.
+        """
+        clone = RelationInstance(self.schema, self.interner)
+        clone._columns = [column[:] for column in self._columns]
+        clone._row_keys = set(self._row_keys) if self._row_keys is not None else None
+        clone._attribute_indexes = [index.copy() for index in self._attribute_indexes]
+        clone._value_index = self._value_index.copy()
+        clone._views = list(self._views)
+        clone._dup_cache = self._dup_cache
         return clone
 
     def map_tuples(self, transform) -> "RelationInstance":
         """Return a new instance with *transform* applied to every tuple."""
-        clone = RelationInstance(self.schema)
-        for tup in self._tuples:
+        clone = RelationInstance(self.schema, self.interner)
+        for tup in self:
             clone.insert(transform(tup), deduplicate=True)
         return clone
 

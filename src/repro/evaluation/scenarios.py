@@ -20,8 +20,9 @@ import argparse
 from typing import Sequence
 
 from ..core.config import DLearnConfig
+from ..data.registry import generate
 from ..data.synthetic import ScenarioSpec
-from .experiments import run_scenario_grid
+from .experiments import expand_scenario_grid, run_scenario_grid
 from .reporting import format_rows
 
 __all__ = ["main"]
@@ -56,6 +57,14 @@ def _parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="CI-sized defaults (45 entities, md-drift 0/0.3); explicit flags still override",
+    )
+    run.add_argument(
+        "--storage-stats",
+        action="store_true",
+        help=(
+            "also print the storage-core footprint (rows, distinct values, approx bytes) "
+            "per grid point; regenerates each (deterministic) scenario once more"
+        ),
     )
     return parser
 
@@ -120,6 +129,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"\n{len(outcomes)} grid points; |clean F1 - dirty F1| ranges from "
         f"{abs(best.f1_gap):.3f} to {abs(worst.f1_gap):.3f}"
     )
+    if args.storage_stats:
+        print("\nStorage-core footprint (interned columnar) per grid point:")
+        for spec in expand_scenario_grid(base, grid):
+            stats = generate("synthetic", spec=spec).database.stats()
+            knobs = " ".join(f"{knob}={getattr(spec, knob)}" for knob in sorted(grid))
+            print(
+                f"  {knobs or 'base':<40} rows={stats['rows']:>6} "
+                f"distinct={stats['distinct_values']:>6} "
+                f"~{stats['approx_total_bytes'] / 1e6:.2f} MB"
+            )
     return 0
 
 

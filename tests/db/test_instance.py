@@ -85,12 +85,32 @@ class TestIndexes:
 
     def test_value_index(self):
         index = ValueIndex()
-        index.add("x", 0, 0)
-        index.add("x", 1, 3)
-        index.add("y", 0, 1)
+        index.add("x", 0)
+        index.add("x", 3)
+        index.add("y", 1)
         assert index.rows_for("x") == {0, 3}
         assert index.rows_for_any(["x", "y"]) == {0, 1, 3}
-        assert index.occurrences("x") == {(0, 0), (1, 3)}
+        assert index.rows_for("missing") == frozenset()
+
+    def test_value_index_probe_results_are_immutable_frozensets(self):
+        index = ValueIndex()
+        index.add("x", 0)
+        probe = index.rows_for("x")
+        assert isinstance(probe, frozenset)
+        # Adding after a probe must not corrupt earlier results and must be
+        # visible in later ones (the entry thaws, then re-freezes on probe).
+        index.add("x", 5)
+        assert probe == {0}
+        assert index.rows_for("x") == {0, 5}
+        assert isinstance(index.rows_for("x"), frozenset)
+
+    def test_value_index_rows_for_many(self):
+        index = ValueIndex()
+        index.add("x", 0)
+        index.add("x", 3)
+        index.add("y", 1)
+        grouped = index.rows_for_many(["x", "y", "missing"])
+        assert grouped == {"x": frozenset({0, 3}), "y": frozenset({1}), "missing": frozenset()}
 
 
 class TestRelationInstance:

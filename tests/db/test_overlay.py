@@ -1,0 +1,307 @@
+"""Observational-equivalence tests for copy-on-write overlay instances.
+
+The contract under test: an :class:`~repro.db.overlay.OverlayInstance`
+produced by any chain of repair transformations is indistinguishable — under
+every query and index probe of the ``DatabaseInstance`` API — from its
+:meth:`~repro.db.overlay.OverlayInstance.materialize`\\ d counterpart, and
+produces the same contents as the eager reference transformations on
+``DatabaseInstance`` itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    ConditionalFunctionalDependency,
+    MatchingDependency,
+    enforce_md,
+    find_md_matches,
+    minimal_cfd_repair,
+    repairs_of,
+    stable_instances,
+)
+from repro.db import (
+    AttributeType,
+    DatabaseInstance,
+    DatabaseSchema,
+    OverlayInstance,
+    RelationSchema,
+    Tuple,
+)
+
+VALUE = st.sampled_from(["a", "b", "c", "alpha", "beta", "gamma", "x1", None])
+
+
+def two_relation_schema() -> DatabaseSchema:
+    return DatabaseSchema.of(
+        RelationSchema.of("left", ["key", "name", "tag"]),
+        RelationSchema.of("right", ["key", "label"]),
+    )
+
+
+ROWS_LEFT = st.lists(st.tuples(VALUE, VALUE, VALUE), max_size=12)
+ROWS_RIGHT = st.lists(st.tuples(VALUE, VALUE), max_size=8)
+
+#: Probe values: everything the generators can produce plus never-stored ones.
+PROBE_VALUES = ["a", "b", "c", "alpha", "beta", "gamma", "x1", "<fresh>", "never-stored", None]
+
+
+def build_db(left_rows, right_rows) -> DatabaseInstance:
+    db = DatabaseInstance(two_relation_schema())
+    db.insert_many("left", left_rows)
+    db.insert_many("right", right_rows)
+    return db
+
+
+def assert_observationally_equal(view: DatabaseInstance, reference: DatabaseInstance) -> None:
+    """Exhaustively compare the two instances under the query/probe API."""
+    assert view.tuple_counts() == reference.tuple_counts()
+    assert view.content_fingerprint() == reference.content_fingerprint()
+    for name in reference.relation_names:
+        view_relation, reference_relation = view.relation(name), reference.relation(name)
+        assert len(view_relation) == len(reference_relation)
+        assert [t.values for t in view_relation] == [t.values for t in reference_relation]
+        assert [t.values for t in view_relation.tuples()] == [t.values for t in reference_relation.tuples()]
+        for attribute in reference_relation.schema.attribute_names:
+            assert view_relation.distinct_values(attribute) == reference_relation.distinct_values(attribute)
+            for value in PROBE_VALUES:
+                assert [t.values for t in view_relation.select_equal(attribute, value)] == [
+                    t.values for t in reference_relation.select_equal(attribute, value)
+                ], (name, attribute, value)
+        first_attribute = reference_relation.schema.attribute_names[0]
+        grouped_view = view_relation.select_equal_many(first_attribute, PROBE_VALUES)
+        grouped_reference = reference_relation.select_equal_many(first_attribute, PROBE_VALUES)
+        for value in PROBE_VALUES:
+            assert [t.values for t in grouped_view[value]] == [t.values for t in grouped_reference[value]]
+        for value in PROBE_VALUES:
+            assert view_relation.contains_value(value) == reference_relation.contains_value(value)
+            # Row handles are internal; compare the tuple *contents* they select.
+            view_rows = sorted(view_relation.rows_with_value(value))
+            reference_rows = sorted(reference_relation.rows_with_value(value))
+            assert [view_relation.tuple_at(r).values for r in view_rows] == [
+                reference_relation.tuple_at(r).values for r in reference_rows
+            ]
+        assert [t.values for t in view_relation.select_any_attribute(PROBE_VALUES)] == [
+            t.values for t in reference_relation.select_any_attribute(PROBE_VALUES)
+        ]
+    for value in PROBE_VALUES:
+        assert view.value_frequency(value) == reference.value_frequency(value)
+    assert [t.values for t in view.all_tuples()] == [t.values for t in reference.all_tuples()]
+
+
+class TestOverlayEqualsMaterialized:
+    @settings(max_examples=40, deadline=None)
+    @given(left=ROWS_LEFT, right=ROWS_RIGHT, old=VALUE)
+    def test_replace_value_globally(self, left, right, old):
+        db = build_db(left, right)
+        overlay = OverlayInstance.over(db).replace_value_globally(old, "<fresh>")
+        assert_observationally_equal(overlay, overlay.materialize())
+        reference = db.replace_value_globally(old, "<fresh>")
+        assert_observationally_equal(overlay, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=ROWS_LEFT, right=ROWS_RIGHT, old=VALUE, second=VALUE)
+    def test_chained_replacements_flatten_over_one_base(self, left, right, old, second):
+        db = build_db(left, right)
+        overlay = (
+            OverlayInstance.over(db)
+            .replace_value_globally(old, "<fresh>")
+            .replace_value_globally(second, "<fresh2>")
+        )
+        assert overlay.base is db  # chains merge deltas instead of stacking views
+        assert_observationally_equal(overlay, overlay.materialize())
+        reference = db.replace_value_globally(old, "<fresh>").replace_value_globally(second, "<fresh2>")
+        assert_observationally_equal(overlay, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=ROWS_LEFT, right=ROWS_RIGHT, target=VALUE)
+    def test_map_relation(self, left, right, target):
+        db = build_db(left, right)
+
+        def rewrite(tup: Tuple) -> Tuple:
+            return tup.replace_value(target, "<mapped>")
+
+        overlay = OverlayInstance.over(db).map_relation("left", rewrite)
+        assert_observationally_equal(overlay, overlay.materialize())
+        assert_observationally_equal(overlay, db.map_relation("left", rewrite))
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=ROWS_LEFT, right=ROWS_RIGHT, extra=st.lists(st.tuples(VALUE, VALUE), max_size=4))
+    def test_with_rows(self, left, right, extra):
+        db = build_db(left, right)
+        overlay = OverlayInstance.over(db).with_rows({"right": extra})
+        assert_observationally_equal(overlay, overlay.materialize())
+        assert_observationally_equal(overlay, db.with_rows({"right": extra}))
+
+    @settings(max_examples=25, deadline=None)
+    @given(left=ROWS_LEFT, right=ROWS_RIGHT, old=VALUE, extra=st.lists(st.tuples(VALUE, VALUE), max_size=3))
+    def test_mixed_transformation_chain(self, left, right, old, extra):
+        db = build_db(left, right)
+        overlay = (
+            OverlayInstance.over(db)
+            .replace_value_globally(old, "<fresh>")
+            .with_rows({"right": extra})
+            .map_relation("right", lambda tup: tup.replace_value("<fresh>", "<mapped>"))
+        )
+        assert_observationally_equal(overlay, overlay.materialize())
+        reference = (
+            db.replace_value_globally(old, "<fresh>")
+            .with_rows({"right": extra})
+            .map_relation("right", lambda tup: tup.replace_value("<fresh>", "<mapped>"))
+        )
+        assert_observationally_equal(overlay, reference)
+
+
+class TestOverlayIsolation:
+    def test_base_is_never_mutated(self):
+        db = build_db([("a", "b", "c")], [("a", "x1")])
+        fingerprint = db.content_fingerprint()
+        overlay = OverlayInstance.over(db).replace_value_globally("a", "<fresh>")
+        overlay.insert("right", ("q", "r"))
+        overlay.with_rows({"left": [("z", "z", "z")]})
+        assert db.content_fingerprint() == fingerprint
+        assert db.tuple_counts() == {"left": 1, "right": 1}
+
+    def test_copy_is_independent(self):
+        db = build_db([("a", "b", "c")], [("a", "x1")])
+        overlay = OverlayInstance.over(db).replace_value_globally("a", "<fresh>")
+        clone = overlay.copy()
+        clone.insert("right", ("q", "r"))
+        assert clone.tuple_counts()["right"] == 2
+        assert overlay.tuple_counts()["right"] == 1
+
+    def test_derived_overlays_own_their_deltas(self):
+        """A transformation must not carry shared mutable overlay relations:
+        inserting into the source after deriving must not change the result."""
+        db = build_db([("a", "b", "c")], [("a", "x1")])
+        first = OverlayInstance.over(db).map_relation("right", lambda t: t.replace_value("x1", "<m>"))
+        second = first.replace_value_globally("b", "<fresh>")  # 'right' untouched
+        third = first.map_relation("left", lambda t: t)  # 'right' untouched
+        first.insert("right", ("q", "r"))
+        assert second.tuple_counts()["right"] == 1
+        assert third.tuple_counts()["right"] == 1
+        assert first.tuple_counts()["right"] == 2
+
+    def test_insert_many_reports_stored_count_under_deduplication(self):
+        """Mirror of the PR 1 RelationInstance.insert_many contract on overlays."""
+        db = build_db([], [])
+        overlay = OverlayInstance.over(db).with_rows({})
+        rows = [("x", "y"), ("x", "y"), ("z", "w")]
+        assert overlay.insert_many("right", rows, deduplicate=True) == 2
+        assert overlay.tuple_counts()["right"] == 2
+        assert overlay.insert_many("right", rows, deduplicate=True) == 0
+        assert overlay.insert_many("right", rows) == 3
+        reference = db.copy()
+        assert reference.insert_many("right", rows, deduplicate=True) == 2
+
+    def test_overlay_shares_the_base_interner(self):
+        db = build_db([("a", "b", "c")], [("a", "x1")])
+        overlay = OverlayInstance.over(db).replace_value_globally("a", "<fresh>")
+        assert overlay.interner is db.interner
+
+    def test_delta_counts_only_touched_rows(self):
+        db = build_db([("a", "b", "c"), ("x1", "b", "c")], [("a", "x1")])
+        overlay = OverlayInstance.over(db).replace_value_globally("a", "<fresh>")
+        # Rows without 'a' stay out of the delta; 'right' is touched once.
+        assert overlay.delta_size() == 2
+        stats = overlay.stats()
+        assert stats["overlay"] is True
+        assert stats["replaced_rows"] == 2
+        assert stats["added_rows"] == 0
+
+    def test_duplicate_collapse_matches_eager_set_semantics(self):
+        # Replacing 'b'→'a' makes the two left rows identical; the engine's
+        # set semantics collapse them, exactly as the eager path does.
+        db = build_db([("a", "a", "c"), ("b", "a", "c")], [])
+        overlay = OverlayInstance.over(db).replace_value_globally("b", "a")
+        reference = db.replace_value_globally("b", "a")
+        assert overlay.tuple_counts()["left"] == 1
+        assert_observationally_equal(overlay, reference)
+
+    def test_pre_existing_duplicates_collapse_on_global_replacement(self):
+        db = build_db([("a", "b", "c"), ("a", "b", "c")], [("z", "z")])
+        overlay = OverlayInstance.over(db).replace_value_globally("nope", "<fresh>")
+        reference = db.replace_value_globally("nope", "<fresh>")
+        assert_observationally_equal(overlay, reference)
+        assert overlay.tuple_counts()["left"] == 1
+
+
+class TestRepairOverlays:
+    def _star_wars(self):
+        schema = DatabaseSchema.of(
+            RelationSchema.of(
+                "movies",
+                [("id", AttributeType.STRING), ("title", AttributeType.STRING), ("year", AttributeType.INTEGER)],
+            ),
+            RelationSchema.of("highBudgetMovies", [("title", AttributeType.STRING)]),
+        )
+        db = DatabaseInstance(schema)
+        db.insert_many(
+            "movies",
+            [("10", "Star Wars: Episode IV - 1977", 1977), ("40", "Star Wars: Episode III - 2005", 2005)],
+        )
+        db.insert("highBudgetMovies", ("Star Wars",))
+        md = MatchingDependency.simple("md1", "movies", "title", "highBudgetMovies", "title")
+        return db, md
+
+    @staticmethod
+    def _contains(a, b) -> bool:
+        left, right = str(a), str(b)
+        return left != right and (left.startswith(right) or right.startswith(left))
+
+    def test_enforce_md_returns_an_overlay_equal_to_its_materialization(self):
+        db, md = self._star_wars()
+        match = next(iter(find_md_matches(db, md, self._contains)))
+        repaired = enforce_md(db, match)
+        assert isinstance(repaired, OverlayInstance)
+        assert repaired.base is db
+        assert_observationally_equal(repaired, repaired.materialize())
+
+    def test_stable_instances_agree_with_materialized_enumeration(self):
+        db, md = self._star_wars()
+        stables = list(stable_instances(db, [md], self._contains))
+        assert len(stables) == 2
+        fingerprints = {stable.content_fingerprint() for stable in stables}
+        materialized = {stable.materialize().content_fingerprint() for stable in stables}
+        assert fingerprints == materialized
+
+    def test_minimal_cfd_repair_overlay_equals_materialized(self):
+        schema = DatabaseSchema.of(RelationSchema.of("ratings", ["movieId", "rating"]))
+        db = DatabaseInstance(schema)
+        db.insert_many(
+            "ratings",
+            [("m1", "R"), ("m1", "R"), ("m1", "PG"), ("m2", "PG-13"), ("m3", "G"), ("m3", "R")],
+        )
+        cfd = ConditionalFunctionalDependency.fd("cfd_rating", "ratings", ["movieId"], "rating")
+        repaired = minimal_cfd_repair(db, [cfd])
+        assert isinstance(repaired, OverlayInstance)
+        assert_observationally_equal(repaired, repaired.materialize())
+
+    def test_repairs_of_yields_overlay_views_observationally_equal_to_materialized(self):
+        db, md = self._star_wars()
+        cfd = ConditionalFunctionalDependency.fd("cfd_year", "movies", ["id"], "year")
+        for repair in repairs_of(db, [md], [cfd], self._contains):
+            if isinstance(repair, OverlayInstance):
+                assert_observationally_equal(repair, repair.materialize())
+
+
+class TestOverlayLearnerSurface:
+    """The id-level probe API the chase runs on must also agree."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(left=ROWS_LEFT, right=ROWS_RIGHT, old=VALUE)
+    def test_id_probes_agree_with_value_probes(self, left, right, old):
+        db = build_db(left, right)
+        overlay = OverlayInstance.over(db).replace_value_globally(old, "<fresh>")
+        for name in overlay.relation_names:
+            relation = overlay.relation(name)
+            for value in PROBE_VALUES:
+                key = overlay.id_of(value)
+                assert relation.rows_with_id(key) == relation.rows_with_value(value)
+                for attribute in relation.schema.attribute_names:
+                    by_id = [relation.tuple_at(r).values for r in relation.rows_equal_id(attribute, key)]
+                    by_value = [t.values for t in relation.select_equal(attribute, value)]
+                    assert by_id == by_value

@@ -1,0 +1,130 @@
+"""CI guard against memory regressions in the learning pipeline.
+
+Runs the scenario-smoke workload (one cell of the synthetic dirty-scenario
+grid: generate, fit on dirty, fit on clean, evaluate — the same shape as
+``python -m repro.evaluation.scenarios --smoke``) under ``tracemalloc`` and
+compares the peak traced allocation against the recorded baseline in
+``tools/memory_baseline.json``.  The build fails when the peak grows more
+than the allowed fraction (default 25%) over the baseline.
+
+Peak *traced* bytes are used instead of process RSS on purpose: tracemalloc
+counts exactly the Python allocations the code performs, so the measurement
+is deterministic across runs and comparable across CI hosts, where RSS is
+dominated by allocator/runtime noise.
+
+Usage:
+
+    PYTHONPATH=src python tools/check_memory_regression.py            # check
+    PYTHONPATH=src python tools/check_memory_regression.py --update   # record a new baseline
+    PYTHONPATH=src python tools/check_memory_regression.py --max-growth 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tracemalloc
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "memory_baseline.json")
+
+
+def measure_peak_bytes() -> int:
+    """Peak traced bytes of one scenario-smoke cell (import-to-evaluation)."""
+    from repro.core import DLearnConfig
+    from repro.data.synthetic import ScenarioSpec
+    from repro.evaluation.scenarios import run_scenario_grid
+
+    spec = ScenarioSpec(
+        n_entities=45,
+        n_positives=6,
+        n_negatives=12,
+        string_variant_intensity=0.3,
+        md_drift=0.3,
+        seed=11,
+    )
+    config = DLearnConfig(
+        iterations=3,
+        sample_size=8,
+        top_k_matches=3,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+        seed=11,
+    )
+    tracemalloc.start()
+    run_scenario_grid(spec, {"md_drift": [0.3]}, config=config, test_fraction=0.25, seed=11)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true", help="record the measured peak as the new baseline")
+    parser.add_argument(
+        "--max-growth",
+        type=float,
+        default=0.25,
+        help="allowed fractional growth over the baseline before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    version = f"{sys.version_info.major}.{sys.version_info.minor}"
+    peak = measure_peak_bytes()
+    print(f"measured peak: {peak / 1e6:.2f} MB (python {version})")
+
+    if args.update:
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"workload": "scenario-smoke-cell", "python": version, "peak_bytes": peak},
+                handle,
+                indent=2,
+            )
+            handle.write("\n")
+        print(f"recorded baseline in {BASELINE_PATH}")
+        return 0
+
+    try:
+        with open(BASELINE_PATH, encoding="utf-8") as handle:
+            recorded = json.load(handle)
+        baseline = recorded["peak_bytes"]
+    except (OSError, KeyError, ValueError):
+        print(
+            f"FAIL: no readable baseline at {BASELINE_PATH}; run with --update to record one",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Peak traced allocation is deterministic *per interpreter version* but
+    # differs across versions (object layouts change); comparing against a
+    # baseline recorded under another version would be spuriously strict or
+    # vacuous, so the check only binds on the recording version.
+    recorded_version = recorded.get("python")
+    if recorded_version != version:
+        print(
+            f"SKIP: baseline was recorded under python {recorded_version}; "
+            f"this is python {version}, so the comparison would not be meaningful"
+        )
+        return 0
+
+    limit = baseline * (1.0 + args.max_growth)
+    print(f"baseline: {baseline / 1e6:.2f} MB, limit: {limit / 1e6:.2f} MB (+{args.max_growth * 100:.0f}%)")
+    if peak > limit:
+        print(
+            f"FAIL: peak memory {peak / 1e6:.2f} MB exceeds the recorded baseline "
+            f"{baseline / 1e6:.2f} MB by more than {args.max_growth * 100:.0f}%. "
+            "If the growth is intentional, re-record with --update.",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
