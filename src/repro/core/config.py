@@ -71,6 +71,18 @@ class DLearnConfig:
         training positives; removing them yields the concise definitions the
         paper reports and improves recall on held-out examples.  The
         ablation benchmark switches this off to measure its effect.
+    compiled_subsumption:
+        Run θ-subsumption checks on the compiled integer plane
+        (:mod:`repro.logic.compiled`) — clauses are interned to flat int
+        tuples once and the NP-hard matching loop runs on arrays with O(1)
+        trail backtracking.  Off, every check runs the pure-Python reference
+        checker.  As long as no check exhausts the step budget, verdicts,
+        retained-literal lists and learned definitions are identical either
+        way (``bench_subsumption_compiled.py`` and the property suites
+        assert this) and only the cost profile differs; the exhaustion
+        point of a budget-bound check is engine-relative, so workloads that
+        hit the valve may drop different literals under the two engines
+        (both conservatively).
     n_jobs:
         Number of worker threads :meth:`repro.core.coverage.CoverageEngine.batch_covers`
         (and with it ``covered_counts`` and batched prediction) fans the
@@ -113,6 +125,7 @@ class DLearnConfig:
     max_cfd_expansions: int = 64
     max_repair_groups_per_clause: int = 200
     reduce_clauses: bool = True
+    compiled_subsumption: bool = True
     n_jobs: int = 1
     seed: int = 0
     use_mds: bool = True

@@ -38,6 +38,15 @@ examples through those caches, optionally fanning the per-example checks out
 across a thread pool (``DLearnConfig.n_jobs``);
 :meth:`CoverageEngine.covers_serial` keeps the original one-call-at-a-time
 pipeline as an uncached reference implementation for tests and benchmarks.
+
+On top of the clause-level caches sits a session-level **verdict cache**:
+the final coverage verdict of every (candidate clause, ground bottom clause,
+label semantics) triple is remembered, so the covering loop — which re-scores
+surviving candidates against the full example set round after round — never
+re-proves a pair it already settled.  The engine also owns the session's
+:class:`~repro.logic.compiled.ClauseCompiler`: every checker it drives
+(including the per-thread clones of the ``n_jobs`` fan-out) shares one term
+interner, so clauses are compiled to the integer plane once per session.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..logic.clauses import HornClause
+from ..logic.compiled import ClauseCompiler
 from ..logic.subsumption import PreparedClause, PreparedGeneral, SubsumptionChecker
 from .bottom_clause import BottomClauseBuilder
 from .config import DLearnConfig
@@ -69,6 +79,13 @@ _CLAUSE_CACHE_SIZE = 1024
 #: default expansion cap of 64 this accommodates ~125 examples' worth of
 #: variants before eviction.
 _SPECIFIC_CACHE_SIZE = 8192
+
+#: Entry bound on the session-level verdict cache.  Keys are
+#: (clause, clause, bool) triples whose hashes are memoised, so entries are
+#: cheap; the cap only guards long-lived serving sessions against unbounded
+#: growth, and eviction is a wholesale clear (re-proving is what the cache
+#: avoids in the steady state, not what correctness depends on).
+_VERDICT_CACHE_SIZE = 1 << 16
 
 
 def _md_projection(clause: HornClause) -> HornClause:
@@ -114,8 +131,27 @@ class CoverageEngine:
     ) -> None:
         self.builder = builder
         self.config = config
-        self.checker = checker or SubsumptionChecker()
+        checker = checker or SubsumptionChecker()
+        use_compiled = checker.use_compiled and config.compiled_subsumption
+        if use_compiled != checker.use_compiled or checker.compiler is None:
+            # Clone instead of mutating the caller's instance: a checker
+            # passed in may be shared outside this engine, and installing a
+            # compiler (or flipping the engine mode) on it would silently
+            # couple or reconfigure those other users.
+            checker = SubsumptionChecker(
+                respect_repair_connectivity=checker.respect_repair_connectivity,
+                condition_subset=checker.condition_subset,
+                max_steps=checker.max_steps,
+                use_compiled=use_compiled,
+                compiler=checker.compiler or ClauseCompiler(),
+            )
+        self.checker = checker
+        #: Session-level clause compiler: one term interner shared by every
+        #: checker the engine drives, so compiled clause forms attached to
+        #: the prepared caches stay valid across worker threads.
+        self.compiler = self.checker.compiler
         self._ground_cache: dict[tuple[object, ...], PreparedClause] = {}
+        self._verdict_cache: dict[tuple[HornClause, HornClause, bool], bool] = {}
         self._thread_state = threading.local()
         # Pure per-clause computations, memoised for the engine's lifetime.
         # ``lru_cache`` is thread-safe, which is what allows ``batch_covers``
@@ -167,8 +203,17 @@ class CoverageEngine:
     def ground_bottom_clause(self, example: Example) -> HornClause:
         return self.prepared_ground(example).clause
 
+    def reset_verdicts(self) -> None:
+        """Drop only the verdict cache, keeping prepared and compiled clause forms.
+
+        Used by benchmarks to measure the steady-state cost of proving fresh
+        (clause, example) pairs — compilation amortised, verdicts cold.
+        """
+        self._verdict_cache.clear()
+
     def clear_cache(self) -> None:
         self._ground_cache.clear()
+        self._verdict_cache.clear()
         self._prepare_general.cache_clear()
         self._prepare_specific.cache_clear()
         self._md_projection_of.cache_clear()
@@ -324,12 +369,38 @@ class CoverageEngine:
         *,
         positive: bool,
     ) -> bool:
-        """The Section 4.3 pipeline over prepared clause forms.
+        """The Section 4.3 pipeline over prepared clause forms, verdict-cached.
 
+        The verdict is a pure function of (candidate clause, ground clause,
+        label semantics); the covering loop scores surviving candidates
+        against the full example set round after round, so settled pairs are
+        served from the session-level cache instead of being re-proved.
         *checker* is passed explicitly so worker threads can substitute their
         own instance; every clause-level derivation goes through the engine's
         LRU caches.
         """
+        # HornClause equality folds body-order variants; that is consistent
+        # here because the prepared-clause LRU caches (and the ground cache)
+        # fold them the same way, so an order-variant clause is proved
+        # through — and cached under — the same prepared form either way.
+        key = (general.clause, ground.clause, positive)
+        cached = self._verdict_cache.get(key)
+        if cached is None:
+            if len(self._verdict_cache) >= _VERDICT_CACHE_SIZE:
+                self._verdict_cache.clear()
+            cached = self._verdict_cache[key] = self._prove_ground(
+                checker, general, ground, positive=positive
+            )
+        return cached
+
+    def _prove_ground(
+        self,
+        checker: SubsumptionChecker,
+        general: PreparedGeneral,
+        ground: PreparedClause,
+        *,
+        positive: bool,
+    ) -> bool:
         if checker.subsumes(general, ground).subsumes:
             return True
         clause = general.clause
@@ -376,6 +447,8 @@ class CoverageEngine:
                 respect_repair_connectivity=self.checker.respect_repair_connectivity,
                 condition_subset=self.checker.condition_subset,
                 max_steps=self.checker.max_steps,
+                use_compiled=self.checker.use_compiled,
+                compiler=self.compiler,
             )
             self._thread_state.checker = checker
         return checker

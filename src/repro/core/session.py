@@ -38,6 +38,7 @@ from ..constraints.mds import MatchingDependency
 from ..db.instance import DatabaseInstance
 from ..db.sampling import Sampler
 from ..db.schema import RelationSchema
+from ..logic.compiled import ClauseCompiler
 from ..logic.subsumption import SubsumptionChecker
 from ..similarity.composite import SimilarityOperator
 from ..similarity.index import SimilarityIndex, SimilarityMatch
@@ -217,6 +218,12 @@ class DatabasePreparation:
         self.target = target
         self.operator = operator or SimilarityOperator()
         self.probes = DatabaseProbeCache(database)
+        #: Shared θ-subsumption clause compiler: term ids are only meaningful
+        #: relative to one interner, so every session over this database (the
+        #: covering loop, prediction batches, cross-validation folds) compiles
+        #: its clauses through the same dictionary and compiled clause forms
+        #: stay valid across sessions.
+        self.compiler = ClauseCompiler()
         self._md_caches: dict[str, _MdIndexCache] = {}
 
     @classmethod
@@ -316,7 +323,9 @@ class LearningSession:
         self.builder = BottomClauseBuilder(
             problem, config, self.similarity_indexes, chase=self.chase, assembler=self.assembler
         )
-        self.engine = CoverageEngine(self.builder, config, SubsumptionChecker())
+        self.engine = CoverageEngine(
+            self.builder, config, SubsumptionChecker(compiler=self.preparation.compiler)
+        )
         self.generalizer = Generalizer(self.engine, config, Sampler(config.seed))
         self._serial_saturation = serial_saturation
         self._evaluation_sessions: dict[frozenset, "LearningSession"] = {}

@@ -20,6 +20,7 @@ from .atoms import (
     similarity_literal,
 )
 from .clauses import Definition, HornClause
+from .compiled import ClauseCompiler, CompiledGeneral, CompiledSpecific, TermInterner
 from .ordering import literal_sort_key, order_clause_body
 from .substitution import Substitution
 from .subsumption import (
@@ -41,8 +42,11 @@ from .terms import (
 )
 
 __all__ = [
+    "ClauseCompiler",
     "Comparison",
     "ComparisonOp",
+    "CompiledGeneral",
+    "CompiledSpecific",
     "Condition",
     "Constant",
     "Definition",
@@ -55,6 +59,7 @@ __all__ = [
     "SubsumptionChecker",
     "SubsumptionResult",
     "Term",
+    "TermInterner",
     "TRUE_CONDITION",
     "Variable",
     "VariableFactory",

@@ -34,12 +34,14 @@ construction (tens to a few hundreds of literals).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Sequence
 
 from .atoms import Comparison, ComparisonOp, Condition, Literal, LiteralKind
 from .clauses import HornClause
+from .compiled import BudgetExceeded, ClauseCompiler, CompiledSearch
 from .substitution import Substitution
 from .terms import Constant, Term, Variable, is_constant, is_variable
 
@@ -78,6 +80,9 @@ class PreparedClause:
     index: dict[tuple[str, str, int], list[Literal]]
     similar: set[frozenset[Term]]
     unequal: set[frozenset[Term]]
+    #: Lazily attached integer-plane form (:class:`repro.logic.compiled.CompiledSpecific`);
+    #: only valid for the :class:`~repro.logic.compiled.ClauseCompiler` that built it.
+    compiled: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def body_unsatisfiable(self) -> bool:
@@ -107,10 +112,17 @@ class PreparedGeneral:
     structural: tuple[Literal, ...]
     comparisons: tuple[Literal, ...]
     head: Literal
+    #: Lazily attached integer-plane form (:class:`repro.logic.compiled.CompiledGeneral`);
+    #: only valid for the :class:`~repro.logic.compiled.ClauseCompiler` that built it.
+    compiled: object | None = field(default=None, compare=False, repr=False)
 
 
-class _BudgetExceeded(Exception):
-    """Raised internally when a search exceeds the checker's step budget."""
+class _BudgetExceeded(BudgetExceeded):
+    """Raised internally when a search exceeds the checker's step budget.
+
+    Subclasses the compiled plane's :class:`~repro.logic.compiled.BudgetExceeded`
+    so one ``except`` clause covers both engines.
+    """
 
 
 class _UnionFind:
@@ -140,6 +152,10 @@ class _UnionFind:
             self._parent[term] = root
             term = next_term
         return root
+
+    def mapping(self) -> dict[Term, Term]:
+        """Every known term mapped to its current root (used by clause compilation)."""
+        return {term: self.find(term) for term in list(self._parent)}
 
     def union(self, left: Term, right: Term) -> None:
         root_left, root_right = self.find(left), self.find(right)
@@ -183,7 +199,20 @@ class SubsumptionChecker:
         Safety valve on the number of candidate-match attempts per search;
         ``None`` disables the limit.  When the limit is hit the clause pair
         is reported as not subsuming, which is sound for learning (a clause
-        is never *wrongly* considered more general).
+        is never *wrongly* considered more general).  The compiled engine
+        honours the same valve with its own (smaller) attempt count.
+    use_compiled:
+        Route :meth:`subsumes` and :meth:`retained_generalization` through
+        the compiled integer-plane engine (:mod:`repro.logic.compiled`).
+        Disable to force the pure-Python reference implementation — the
+        oracle the property suites and ``bench_subsumption_compiled.py``
+        verify observational equality against.
+    compiler:
+        The :class:`~repro.logic.compiled.ClauseCompiler` whose term
+        dictionary compiled clause forms are expressed in.  Checkers that
+        exchange prepared clauses (e.g. the coverage engine's thread-pool
+        clones) must share one compiler; omitted, a private one is created
+        on first compiled use.
     """
 
     def __init__(
@@ -192,11 +221,20 @@ class SubsumptionChecker:
         respect_repair_connectivity: bool = True,
         condition_subset: bool = True,
         max_steps: int | None = 100_000,
+        use_compiled: bool = True,
+        compiler: ClauseCompiler | None = None,
     ) -> None:
         self.respect_repair_connectivity = respect_repair_connectivity
         self.condition_subset = condition_subset
         self.max_steps = max_steps
+        self.use_compiled = use_compiled
+        self.compiler = compiler
         self._steps = 0
+
+    def _compiler(self) -> ClauseCompiler:
+        if self.compiler is None:
+            self.compiler = ClauseCompiler()
+        return self.compiler
 
     # ------------------------------------------------------------------ #
     # public API
@@ -256,10 +294,62 @@ class SubsumptionChecker:
 
         Both sides accept pre-processed forms: pass a :class:`PreparedGeneral`
         for the general side and/or a :class:`PreparedClause` for the specific
-        side when the same clause participates in many checks.
+        side when the same clause participates in many checks.  With
+        ``use_compiled`` (the default) the check runs on the integer plane;
+        the prepared forms carry their compiled counterparts, so repeated
+        checks over the same clause replay the flat form.
         """
         prepared_general = self._as_prepared_general(general)
         prepared = self._as_prepared(specific)
+        if self.use_compiled:
+            return self._subsumes_compiled(prepared_general, prepared)
+        return self._subsumes_reference(prepared_general, prepared)
+
+    def _subsumes_compiled(
+        self, prepared_general: "PreparedGeneral", prepared: "PreparedClause"
+    ) -> SubsumptionResult:
+        """Integer-plane fast path of :meth:`subsumes` (see :mod:`repro.logic.compiled`)."""
+        compiler = self._compiler()
+        cg = compiler.compiled_general_for(prepared_general)
+        cs = compiler.compiled_specific_for(prepared)
+        search = CompiledSearch(
+            cg, cs, condition_subset=self.condition_subset, max_steps=self.max_steps
+        )
+        self._steps = 0
+        if not search.seed_head():
+            return SubsumptionResult(False)
+        try:
+            found = search.run()
+            if (
+                found
+                and self.respect_repair_connectivity
+                and cs.has_repairs
+                and not search.connectivity_ok()
+            ):
+                # Retry exhaustively for a witness satisfying Definition 4.4's
+                # connectivity requirement, continuing the same step budget —
+                # the reference checker's retry, on the integer plane.
+                retry = CompiledSearch(
+                    cg,
+                    cs,
+                    condition_subset=self.condition_subset,
+                    max_steps=self.max_steps,
+                    steps=search.steps,
+                )
+                retry.seed_head()
+                found = retry.run_with_connectivity()
+                search = retry
+            self._steps = search.steps
+        except BudgetExceeded:
+            return SubsumptionResult(False)
+        if not found:
+            return SubsumptionResult(False)
+        return SubsumptionResult(True, search.witness_theta(), search.witness_mapped())
+
+    def _subsumes_reference(
+        self, prepared_general: "PreparedGeneral", prepared: "PreparedClause"
+    ) -> SubsumptionResult:
+        """Pure-Python reference implementation of :meth:`subsumes` (the oracle)."""
         seeded = self._seed_theta(prepared_general.head, prepared)
         if seeded is None:
             return SubsumptionResult(False)
@@ -331,9 +421,99 @@ class SubsumptionChecker:
         that lost their head-connection afterwards.
         """
         prepared = self._as_prepared(specific)
+        if self.use_compiled:
+            return self._retained_compiled(general, prepared)
+        return self._retained_reference(general, prepared)
+
+    def _retained_compiled(self, general: HornClause, prepared: "PreparedClause") -> list[Literal]:
+        """Integer-plane fast path of :meth:`retained_generalization`.
+
+        Keep/drop decisions are witness-existence questions (the greedy
+        extension is an optimisation, not a semantics), so running them on
+        the compiled plane yields the same retained list as the reference
+        loop — the property suite asserts this.
+        """
+        compiler = self._compiler()
+        cg = compiler.compile_general(general)
+        cs = compiler.compiled_specific_for(prepared)
+        state = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=None)
+        if not state.seed_head():
+            return []
+        # One head-only search state for the whole loop (the head mapping
+        # never changes); each blocking probe rewinds it to the bare seed.
+        head_state = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=None)
+        head_state.seed_head()
+        head_mark = len(head_state.trail)
+
+        kept: list[Literal] = []
+        kept_goals: list[int] = []
+        kept_comps: list[int] = []
+        for is_goal, index in cg.body_entries:
+            if not is_goal:
+                literal = cg.comparison_literals[index]
+                mark = len(state.trail)
+                if state.check_comparisons((cg.comparison_triples[index],)):
+                    kept.append(literal)
+                    kept_comps.append(index)
+                    continue
+                state.undo(mark)
+                # The comparison may only fail because of an earlier greedy
+                # binding; retry with full backtracking before declaring it
+                # blocking.
+                retry = self._compiled_retry(cg, cs, kept_goals, kept_comps + [index])
+                if retry is not None:
+                    state = retry
+                    kept.append(literal)
+                    kept_comps.append(index)
+                continue
+
+            goal = cg.goals[index]
+            matched = state.greedy_match(goal)
+            if matched is not None:
+                state.assignment[index] = matched
+                kept.append(goal.literal)
+                kept_goals.append(index)
+                continue
+
+            # Greedy extension failed.  If the literal cannot be matched even
+            # under the head mapping alone it is blocking no matter what the
+            # other goals chose — drop it without the expensive retry.
+            matched_under_head = head_state.greedy_match(goal)
+            head_state.undo(head_mark)
+            if matched_under_head is None:
+                continue
+
+            retry = self._compiled_retry(cg, cs, kept_goals + [index], kept_comps)
+            if retry is None:
+                continue  # genuinely blocking: drop it
+            state = retry
+            kept.append(goal.literal)
+            kept_goals.append(index)
+        return kept
+
+    def _compiled_retry(
+        self, cg, cs, goal_idxs: list[int], comp_idxs: list[int]
+    ) -> CompiledSearch | None:
+        """Full backtracking search used when the greedy witness extension fails."""
+        retry = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=self.max_steps)
+        retry.seed_head()
+        try:
+            if retry.search(tuple(goal_idxs), cg.ordered_triples(comp_idxs), {}):
+                return retry
+        except BudgetExceeded:
+            pass  # treat as blocking: dropping is the conservative choice
+        return None
+
+    def _retained_reference(self, general: HornClause, prepared: "PreparedClause") -> list[Literal]:
+        """Pure-Python reference implementation of :meth:`retained_generalization`."""
         theta = self._seed_theta(general.head, prepared)
         if theta is None:
             return []
+        # The head mapping never changes across iterations; keep the seed for
+        # the head-only blocking test instead of recomputing it per failed
+        # literal (Substitution is immutable, so the later rebinding of
+        # ``theta`` leaves this reference untouched).
+        head_theta = theta
 
         kept: list[Literal] = []
         kept_structural: list[Literal] = []
@@ -378,7 +558,6 @@ class SubsumptionChecker:
             # Greedy extension failed.  If the literal cannot be matched even
             # under the head mapping alone it is blocking no matter what the
             # other goals chose — drop it without the expensive retry.
-            head_theta = self._seed_theta(general.head, prepared)
             if not any(
                 self._match_literal(literal, candidate, head_theta) is not None
                 for candidate in prepared.index.get(literal.signature(), ())
@@ -538,6 +717,7 @@ class SubsumptionChecker:
         d_similar: set[frozenset[Term]],
         d_unequal: set[frozenset[Term]],
         require_connectivity: HornClause | None = None,
+        candidate_cache: dict[Literal, list[Literal]] | None = None,
     ) -> tuple[Substitution, dict[Literal, Literal]] | None:
         """Backtracking search with dynamic most-constrained-goal-first ordering.
 
@@ -550,6 +730,12 @@ class SubsumptionChecker:
         end, where any candidate works.  A goal with zero consistent
         candidates is selected immediately, which is what makes failing
         prefixes fail fast during generalisation.
+
+        ``candidate_cache`` memoises each goal's consistent-candidate list
+        across recursion depths.  Assigning a goal only changes the outcome
+        of goals whose variable footprint intersects the newly bound
+        variables, so each branch passes down the cache minus exactly those
+        *dirty* goals instead of rescanning every candidate list per depth.
 
         Raises :class:`_BudgetExceeded` when the per-check step budget runs
         out; callers translate that into a conservative "does not subsume".
@@ -565,30 +751,50 @@ class SubsumptionChecker:
                     return None
             return final, dict(assignment)
 
+        # Every node costs O(|remaining|) regardless of how the selection
+        # loop short-circuits (the remaining rebuild, the selection scan, the
+        # per-branch cache filtering); charge it up front so the step budget
+        # bounds the number of search nodes — and with it wall clock — the
+        # way the pre-cache full rescans implicitly did.
+        if self.max_steps is not None:
+            self._steps += len(remaining)
+            if self._steps > self.max_steps:
+                raise _BudgetExceeded()
+
         # Pick the unassigned goal with the fewest consistent candidates.
+        cache = candidate_cache if candidate_cache is not None else {}
         best_goal: Literal | None = None
-        best_matches: list[tuple[Literal, Substitution]] = []
+        best_matches: list[Literal] | None = None
         for goal in remaining:
-            matches: list[tuple[Literal, Substitution]] = []
-            for candidate in d_index.get(goal.signature(), ()):
-                if self.max_steps is not None:
-                    self._steps += 1
-                    if self._steps > self.max_steps:
-                        raise _BudgetExceeded()
-                extended = self._match_literal(goal, candidate, theta)
-                if extended is not None:
-                    matches.append((candidate, extended))
-                    if best_goal is not None and len(matches) >= len(best_matches):
-                        break
-            if best_goal is None or len(matches) < len(best_matches):
+            matches = cache.get(goal)
+            if matches is None:
+                matches = []
+                for candidate in d_index.get(goal.signature(), ()):
+                    if self.max_steps is not None:
+                        self._steps += 1
+                        if self._steps > self.max_steps:
+                            raise _BudgetExceeded()
+                    if self._match_literal(goal, candidate, theta) is not None:
+                        matches.append(candidate)
+                cache[goal] = matches
+            if best_matches is None or len(matches) < len(best_matches):
                 best_goal, best_matches = goal, matches
                 if not best_matches:
                     return None
                 if len(best_matches) == 1:
                     break
 
-        assert best_goal is not None
-        for candidate, extended in best_matches:
+        assert best_goal is not None and best_matches is not None
+        for candidate in best_matches:
+            extended = self._match_literal(best_goal, candidate, theta)
+            if extended is None:  # pragma: no cover - cache entries are theta-consistent
+                continue
+            newly_bound = {v for v in best_goal.argument_variables() if v not in theta}
+            child_cache = {
+                goal: matches
+                for goal, matches in cache.items()
+                if goal != best_goal and not (goal.variables() & newly_bound)
+            }
             assignment[best_goal] = candidate
             result = self._search(
                 goals,
@@ -600,6 +806,7 @@ class SubsumptionChecker:
                 d_similar,
                 d_unequal,
                 require_connectivity,
+                child_cache,
             )
             if result is not None:
                 return result
@@ -687,9 +894,21 @@ def _condition_key_set(condition: Condition) -> frozenset[tuple[str, frozenset[T
     return frozenset(_comparison_key(c) for c in condition.comparisons)
 
 
-_DEFAULT_CHECKER = SubsumptionChecker()
+#: Default checkers for the convenience wrapper are per-thread: a checker's
+#: step-budget counter is instance state, so one shared module-level instance
+#: would race under the coverage engine's ``n_jobs`` thread fan-out (one
+#: thread's long search could exhaust — or reset — another's budget).
+_DEFAULT_CHECKERS = threading.local()
+
+
+def _default_checker() -> SubsumptionChecker:
+    checker = getattr(_DEFAULT_CHECKERS, "checker", None)
+    if checker is None:
+        checker = SubsumptionChecker()
+        _DEFAULT_CHECKERS.checker = checker
+    return checker
 
 
 def theta_subsumes(general: HornClause, specific: HornClause, checker: SubsumptionChecker | None = None) -> bool:
     """Convenience wrapper returning only the boolean verdict."""
-    return (checker or _DEFAULT_CHECKER).subsumes(general, specific).subsumes
+    return (checker or _default_checker()).subsumes(general, specific).subsumes

@@ -17,8 +17,8 @@ import sys
 
 import pytest
 
-#: Collected-test floor; the suite held 487 tests when this was last raised.
-MIN_TEST_COUNT = 487
+#: Collected-test floor; the suite held 511 tests when this was last raised.
+MIN_TEST_COUNT = 511
 
 
 class _CollectionCounter:
