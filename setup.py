@@ -3,8 +3,18 @@
 The pyproject.toml carries all metadata; this shim exists so that editable
 installs (``pip install -e .``) work in offline environments whose setuptools
 lacks the ``wheel`` package required by the PEP 660 editable-wheel path.
+The package arguments are repeated here (not only in pyproject.toml) for the
+same reason: old setuptools that cannot read [tool.setuptools] tables must
+still ship the ``py.typed`` marker so downstream mypy sees the id-plane
+NewTypes.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-dlearn",
+    version="0.6.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+)

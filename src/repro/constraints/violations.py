@@ -87,7 +87,9 @@ def find_md_matches(
             candidate_values.update(partners_of(left_value))
         else:
             candidate_values.update(right_by_value.keys())
-        for candidate_value in candidate_values:
+        # Sorted so matches are yielded in a hash-order-independent sequence
+        # (enforcement applies them in yield order).
+        for candidate_value in sorted(candidate_values, key=repr):
             for right_tuple in right_by_value.get(candidate_value, ()):
                 if not md.premises_hold(schema, left_tuple, right_tuple, similar):
                     continue

@@ -152,6 +152,10 @@ class CoverageEngine:
         self.compiler = self.checker.compiler
         self._ground_cache: dict[tuple[object, ...], PreparedClause] = {}
         self._verdict_cache: dict[tuple[HornClause, HornClause, bool], bool] = {}
+        #: Guards verdict-cache mutation: ``batch_covers`` workers record
+        #: verdicts concurrently, and the size-cap eviction (check, clear,
+        #: insert) is not atomic without it.
+        self._verdict_lock = threading.Lock()
         self._thread_state = threading.local()
         # Pure per-clause computations, memoised for the engine's lifetime.
         # ``lru_cache`` is thread-safe, which is what allows ``batch_covers``
@@ -386,11 +390,14 @@ class CoverageEngine:
         key = (general.clause, ground.clause, positive)
         cached = self._verdict_cache.get(key)
         if cached is None:
-            if len(self._verdict_cache) >= _VERDICT_CACHE_SIZE:
-                self._verdict_cache.clear()
-            cached = self._verdict_cache[key] = self._prove_ground(
-                checker, general, ground, positive=positive
-            )
+            # Prove outside the lock (the expensive part, and verdicts are
+            # pure so a duplicated proof is only wasted work); mutate under
+            # it so eviction and insert stay atomic across worker threads.
+            cached = self._prove_ground(checker, general, ground, positive=positive)
+            with self._verdict_lock:
+                if len(self._verdict_cache) >= _VERDICT_CACHE_SIZE:
+                    self._verdict_cache.clear()
+                self._verdict_cache[key] = cached
         return cached
 
     def _prove_ground(

@@ -152,7 +152,9 @@ class LearningProblem:
             position = self.target.position_of(attribute_name)
             return [example.values[position] for example in self.examples.all()]
         relation = self.database.relation(relation_name)
-        return list(relation.distinct_values(attribute_name))
+        # Sorted: distinct_values is a set, and column order decides top-k
+        # tie-breaking in the indexes built from it.
+        return sorted(relation.distinct_values(attribute_name), key=repr)
 
     def build_similarity_indexes(
         self, *, top_k: int, threshold: float | None = None

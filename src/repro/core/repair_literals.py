@@ -287,14 +287,16 @@ def repaired_clauses(
         return [clause]
 
     clusters = _variable_clusters(groups)
-    variants: set[HornClause] = {clause}
+    variants: list[HornClause] = [clause]
     for cluster in clusters:
         next_variants: set[HornClause] = set()
         for variant in variants:
             next_variants |= _expand_cluster(variant, tuple(cluster), max_results)
             if len(next_variants) >= max_results:
                 break
-        variants = set(list(next_variants)[:max_results])
+        # Sorted before truncation: slicing a set keeps a hash-order-dependent
+        # (i.e. per-process random) subset of the capped variants.
+        variants = sorted(next_variants, key=str)[:max_results]
 
     cleaned = [variant.prune_dangling_restrictions() for variant in variants]
     # Deterministic order keeps tests and the learner reproducible.

@@ -133,7 +133,9 @@ class _MdIndexCache:
         varying_side = self._left if self._left_is_target else self._right
         varying = {value for value in self._column(varying_side, examples) if value is not None}
         matches: list[SimilarityMatch] = []
-        for value in varying:
+        # Sorted so the match order (and therefore top-k tie-breaking inside
+        # the assembled index) is independent of set hash order.
+        for value in sorted(varying, key=repr):
             matches.extend(self._scored_pairs(value))
         return SimilarityIndex.from_scored_matches(
             matches,
@@ -149,7 +151,9 @@ class _MdIndexCache:
         if relation_name == self.target.name:
             position = self.target.position_of(attribute_name)
             return [example.values[position] for example in examples]
-        return list(self.database.relation(relation_name).distinct_values(attribute_name))
+        # Sorted: distinct_values is a set, and column order decides top-k
+        # tie-breaking in the indexes built from it.
+        return sorted(self.database.relation(relation_name).distinct_values(attribute_name), key=repr)
 
     def _fixed_column(self) -> set[object]:
         if self._fixed_distinct is None:

@@ -28,7 +28,9 @@ freshly built — or, worse, internal — mutable sets).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
+
+from .interning import ValueId
 
 __all__ = ["AttributeIndex", "PairValueIndex", "ValueIndex"]
 
@@ -54,9 +56,9 @@ class AttributeIndex:
     def __init__(self) -> None:
         # int (single unprobed row) | list (still being appended) | tuple
         # (frozen on first probe).
-        self._entries: dict[object, int | list[int] | tuple[int, ...]] = {}
+        self._entries: dict[ValueId,int | list[int] | tuple[int, ...]] = {}
 
-    def add(self, key: object, row: int) -> None:
+    def add(self, key: ValueId, row: int) -> None:
         entry = self._entries.get(key)
         if entry is None:
             self._entries[key] = row
@@ -67,7 +69,7 @@ class AttributeIndex:
         else:
             entry.append(row)
 
-    def rows_for(self, key: object) -> tuple[int, ...]:
+    def rows_for(self, key: ValueId) -> tuple[int, ...]:
         """Row positions whose attribute equals *key*, ascending (empty tuple if none).
 
         The returned tuple is immutable; callers cannot corrupt the index by
@@ -81,7 +83,7 @@ class AttributeIndex:
             self._entries[key] = entry
         return entry
 
-    def rows_view(self, key: object):
+    def rows_view(self, key: ValueId) -> Sequence[int]:
         """Iterable over the rows of *key* without freezing the entry.
 
         Internal helper for membership scans on insert paths: probing through
@@ -95,7 +97,7 @@ class AttributeIndex:
             return ()
         return (entry,) if type(entry) is int else entry
 
-    def rows_for_many(self, keys: Iterable[object]) -> dict[object, tuple[int, ...]]:
+    def rows_for_many(self, keys: Iterable[ValueId]) -> dict[ValueId,tuple[int, ...]]:
         """Batch counterpart of :meth:`rows_for`: key → ascending row positions.
 
         Per-key cost equals :meth:`rows_for` (hash probes, not a scan); the
@@ -105,7 +107,7 @@ class AttributeIndex:
         """
         return {key: self.rows_for(key) for key in keys}
 
-    def values(self) -> Iterator[object]:
+    def values(self) -> Iterator[ValueId]:
         return iter(self._entries)
 
     def copy(self) -> "AttributeIndex":
@@ -119,7 +121,7 @@ class AttributeIndex:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key: object) -> bool:
+    def __contains__(self, key: ValueId) -> bool:
         return key in self._entries
 
 
@@ -139,9 +141,9 @@ class ValueIndex:
     def __init__(self) -> None:
         # int (single unprobed row) | list (still being appended) | frozenset
         # (frozen on first probe).
-        self._entries: dict[object, int | list[int] | frozenset[int]] = {}
+        self._entries: dict[ValueId,int | list[int] | frozenset[int]] = {}
 
-    def add(self, key: object, row: int) -> None:
+    def add(self, key: ValueId, row: int) -> None:
         """Record that *row* contains *key* (callers dedupe per-row repeats)."""
         entry = self._entries.get(key)
         if entry is None:
@@ -153,7 +155,7 @@ class ValueIndex:
         else:
             entry.append(row)
 
-    def rows_for(self, key: object) -> frozenset[int]:
+    def rows_for(self, key: ValueId) -> frozenset[int]:
         """All rows in which *key* occurs in any attribute, as an immutable frozenset.
 
         Frozen lazily on first probe and cached, so repeated probes return
@@ -167,13 +169,13 @@ class ValueIndex:
             self._entries[key] = entry
         return entry
 
-    def rows_for_any(self, keys: Iterable[object]) -> set[int]:
+    def rows_for_any(self, keys: Iterable[ValueId]) -> set[int]:
         rows: set[int] = set()
         for key in keys:
             rows |= self.rows_for(key)
         return rows
 
-    def rows_for_many(self, keys: Iterable[object]) -> dict[object, frozenset[int]]:
+    def rows_for_many(self, keys: Iterable[ValueId]) -> dict[ValueId,frozenset[int]]:
         """Batch counterpart of :meth:`rows_for`: key → rows containing it anywhere.
 
         Every requested key appears in the result (missing keys map to an
@@ -184,7 +186,7 @@ class ValueIndex:
         """
         return {key: self.rows_for(key) for key in keys}
 
-    def values(self) -> Iterator[object]:
+    def values(self) -> Iterator[ValueId]:
         return iter(self._entries)
 
     def copy(self) -> "ValueIndex":
@@ -196,7 +198,7 @@ class ValueIndex:
         }
         return clone
 
-    def __contains__(self, key: object) -> bool:
+    def __contains__(self, key: ValueId) -> bool:
         return key in self._entries
 
     def __len__(self) -> int:
@@ -216,37 +218,37 @@ class PairValueIndex:
     __slots__ = ("_entries",)
 
     def __init__(self) -> None:
-        self._entries: dict[object, set[tuple[int, int]]] = {}
+        self._entries: dict[ValueId,set[tuple[int, int]]] = {}
 
-    def add(self, key: object, position: int, row: int) -> None:
+    def add(self, key: ValueId, position: int, row: int) -> None:
         entry = self._entries.get(key)
         if entry is None:
             self._entries[key] = {(position, row)}
         else:
             entry.add((position, row))
 
-    def occurrences(self, key: object) -> frozenset[tuple[int, int]]:
+    def occurrences(self, key: ValueId) -> frozenset[tuple[int, int]]:
         """The ``(attribute position, row)`` pairs of *key*, as an immutable set."""
         pairs = self._entries.get(key)
         return frozenset(pairs) if pairs else _EMPTY_FROZENSET
 
-    def rows_for(self, key: object) -> frozenset[int]:
+    def rows_for(self, key: ValueId) -> frozenset[int]:
         """All rows in which *key* occurs in any attribute (built per probe)."""
         pairs = self._entries.get(key)
         if not pairs:
             return _EMPTY_FROZENSET
         return frozenset({row for _, row in pairs})
 
-    def rows_for_any(self, keys: Iterable[object]) -> set[int]:
+    def rows_for_any(self, keys: Iterable[ValueId]) -> set[int]:
         rows: set[int] = set()
         for key in keys:
             rows |= self.rows_for(key)
         return rows
 
-    def rows_for_many(self, keys: Iterable[object]) -> dict[object, frozenset[int]]:
+    def rows_for_many(self, keys: Iterable[ValueId]) -> dict[ValueId,frozenset[int]]:
         return {key: self.rows_for(key) for key in keys}
 
-    def values(self) -> Iterator[object]:
+    def values(self) -> Iterator[ValueId]:
         return iter(self._entries)
 
     def copy(self) -> "PairValueIndex":
@@ -254,7 +256,7 @@ class PairValueIndex:
         clone._entries = {key: set(pairs) for key, pairs in self._entries.items()}
         return clone
 
-    def __contains__(self, key: object) -> bool:
+    def __contains__(self, key: ValueId) -> bool:
         return key in self._entries
 
     def __len__(self) -> int:

@@ -6,7 +6,7 @@ import hashlib
 import sys
 from typing import Callable, Iterable, Iterator, Mapping
 
-from .interning import IdentityInterner, MISSING_ID, ValueInterner
+from .interning import IdentityInterner, MISSING_ID, ValueId, ValueInterner
 from .relation import RelationInstance
 from .schema import DatabaseSchema, RelationSchema, SchemaError
 from .tuples import Tuple
@@ -53,7 +53,13 @@ class DatabaseInstance:
         except KeyError as exc:
             raise SchemaError(f"unknown relation {name!r}") from exc
 
-    def insert(self, relation_name: str, values, *, deduplicate: bool = False) -> Tuple:
+    def insert(
+        self,
+        relation_name: str,
+        values: Mapping[str, object] | tuple | list | Tuple,
+        *,
+        deduplicate: bool = False,
+    ) -> Tuple:
         return self.relation(relation_name).insert(values, deduplicate=deduplicate)
 
     def insert_many(self, relation_name: str, rows: Iterable, *, deduplicate: bool = False) -> int:
@@ -79,15 +85,15 @@ class DatabaseInstance:
     # ------------------------------------------------------------------ #
     # interning helpers (id-level API)
     # ------------------------------------------------------------------ #
-    def intern(self, value: object):
+    def intern(self, value: object) -> ValueId:
         """The value id of *value*, assigning one on first sight."""
         return self.interner.intern(value)
 
-    def id_of(self, value: object):
+    def id_of(self, value: object) -> ValueId:
         """The value id of *value* (:data:`~repro.db.interning.MISSING_ID` if unseen)."""
         return self.interner.id_of(value)
 
-    def intern_values(self, values: Iterable[object]) -> tuple:
+    def intern_values(self, values: Iterable[object]) -> tuple[ValueId, ...]:
         """Intern a value sequence to an id tuple — the canonical cache key.
 
         The saturation and coverage caches key their per-example entries on
@@ -96,7 +102,7 @@ class DatabaseInstance:
         """
         return self.interner.intern_many(values)
 
-    def id_frequency(self, key: object) -> int:
+    def id_frequency(self, key: ValueId) -> int:
         """Number of tuples (across all relations) containing value id *key*."""
         if key == MISSING_ID and self.interner.interned:
             return 0

@@ -33,14 +33,21 @@ by construction.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, NewType, Union, cast
 
-__all__ = ["ValueInterner", "IdentityInterner", "MISSING_ID"]
+__all__ = ["ValueId", "AnyInterner", "ValueInterner", "IdentityInterner", "MISSING_ID"]
+
+#: Opaque alias for the dense value ids handed out by interners.  A distinct
+#: type (rather than ``int``) lets mypy catch the two classic id-plane bugs
+#: statically: passing a decoded *value* where an id is expected, and mixing
+#: value ids with the term-id plane of :mod:`repro.logic.compiled`.  At
+#: runtime a ``ValueId`` is exactly an ``int``.
+ValueId = NewType("ValueId", int)
 
 #: Id returned by :meth:`ValueInterner.id_of` for values never interned.
 #: Negative, so it misses every id-keyed dict/index probe naturally — call
 #: sites need no branching to handle unseen values.
-MISSING_ID = -1
+MISSING_ID = ValueId(-1)
 
 
 class ValueInterner:
@@ -65,44 +72,46 @@ class ValueInterner:
     interned = True
 
     def __init__(self, values: Iterable[Hashable] = ()) -> None:
-        self._str_ids: dict[str, int] = {}
-        self._other_ids: dict[tuple[type, Hashable], int] = {}
+        self._str_ids: dict[str, ValueId] = {}
+        self._other_ids: dict[tuple[type, Hashable], ValueId] = {}
         self._values: list[Hashable] = []
         for value in values:
             self.intern(value)
 
-    def intern(self, value: Hashable) -> int:
+    def intern(self, value: Hashable) -> ValueId:
         """Return the id of *value*, assigning the next dense id on first sight."""
+        # ValueId() wrapping only happens on the cold first-sight path; hits
+        # return the already-typed id straight out of the dict.
         if type(value) is str:
             vid = self._str_ids.get(value)
             if vid is None:
-                vid = len(self._values)
+                vid = ValueId(len(self._values))
                 self._str_ids[value] = vid
                 self._values.append(value)
             return vid
         key = (value.__class__, value)
         vid = self._other_ids.get(key)
         if vid is None:
-            vid = len(self._values)
+            vid = ValueId(len(self._values))
             self._other_ids[key] = vid
             self._values.append(value)
         return vid
 
-    def intern_many(self, values: Iterable[Hashable]) -> tuple[int, ...]:
+    def intern_many(self, values: Iterable[Hashable]) -> tuple[ValueId, ...]:
         intern = self.intern
         return tuple(intern(value) for value in values)
 
-    def id_of(self, value: Hashable) -> int:
+    def id_of(self, value: Hashable) -> ValueId:
         """The id of *value*, or :data:`MISSING_ID` when it was never interned."""
         if type(value) is str:
             return self._str_ids.get(value, MISSING_ID)
         return self._other_ids.get((value.__class__, value), MISSING_ID)
 
-    def value_of(self, vid: int) -> Hashable:
+    def value_of(self, vid: ValueId) -> Hashable:
         """Decode one id back to its value (the single shared object)."""
         return self._values[vid]
 
-    def decode_many(self, ids: Iterable[int]) -> tuple[Hashable, ...]:
+    def decode_many(self, ids: Iterable[ValueId]) -> tuple[Hashable, ...]:
         values = self._values
         return tuple(values[vid] for vid in ids)
 
@@ -133,19 +142,24 @@ class IdentityInterner:
 
     interned = False
 
-    def intern(self, value: Hashable) -> Hashable:
-        return value
+    # The identity interner's "ids" are the raw values themselves.  They are
+    # still *typed* as ValueId — a documented compatibility lie (via cast)
+    # that keeps both interners behind one id-plane interface, so call sites
+    # annotate against ValueId regardless of storage mode.
 
-    def intern_many(self, values: Iterable[Hashable]) -> tuple[Hashable, ...]:
-        return tuple(values)
+    def intern(self, value: Hashable) -> ValueId:
+        return cast(ValueId, value)
 
-    def id_of(self, value: Hashable) -> Hashable:
-        return value
+    def intern_many(self, values: Iterable[Hashable]) -> tuple[ValueId, ...]:
+        return cast("tuple[ValueId, ...]", tuple(values))
 
-    def value_of(self, vid: Hashable) -> Hashable:
+    def id_of(self, value: Hashable) -> ValueId:
+        return cast(ValueId, value)
+
+    def value_of(self, vid: ValueId) -> Hashable:
         return vid
 
-    def decode_many(self, ids: Iterable[Hashable]) -> tuple[Hashable, ...]:
+    def decode_many(self, ids: Iterable[ValueId]) -> tuple[Hashable, ...]:
         return tuple(ids)
 
     def __contains__(self, value: Hashable) -> bool:  # pragma: no cover - trivial
@@ -156,3 +170,8 @@ class IdentityInterner:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "IdentityInterner()"
+
+
+#: Either interner; the common id-plane interface everything downstream
+#: (relations, indexes, overlays, tuple views) annotates against.
+AnyInterner = Union[ValueInterner, IdentityInterner]

@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Iterator, Mapping
 
 from .instance import DatabaseInstance
+from .interning import AnyInterner, ValueId
 from .relation import RelationInstance
 from .schema import SchemaError
 from .tuples import Tuple
@@ -41,7 +42,7 @@ from .tuples import Tuple
 __all__ = ["OverlayInstance", "OverlayRelation"]
 
 
-def _intern_output(relation_name: str, tup: Tuple, interner) -> tuple:
+def _intern_output(relation_name: str, tup: Tuple, interner: AnyInterner) -> tuple[ValueId, ...]:
     ids = tup.interned_ids(interner)
     if ids is None:
         ids = interner.intern_many(tup.values)
@@ -296,7 +297,7 @@ class OverlayRelation:
             has_duplicates=self._has_duplicates,
         )
 
-    def map_tuples(self, transform) -> RelationInstance:
+    def map_tuples(self, transform: Callable[[Tuple], Mapping[str, object] | tuple | list | Tuple]) -> RelationInstance:
         """Materialising map (reference path; overlays use delta transforms)."""
         clone = RelationInstance(self.schema, self.interner)
         for tup in self:
@@ -409,7 +410,13 @@ class OverlayInstance(DatabaseInstance):
     # ------------------------------------------------------------------ #
     # insertion (copy-on-write: base relations are never mutated)
     # ------------------------------------------------------------------ #
-    def insert(self, relation_name: str, values, *, deduplicate: bool = False) -> Tuple:
+    def insert(
+        self,
+        relation_name: str,
+        values: Mapping[str, object] | tuple | list | Tuple,
+        *,
+        deduplicate: bool = False,
+    ) -> Tuple:
         relation = self.relation(relation_name)
         if not isinstance(relation, OverlayRelation):
             relation = OverlayRelation.wrap(relation)

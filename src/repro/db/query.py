@@ -21,6 +21,7 @@ from ..logic.atoms import Literal, LiteralKind
 from ..logic.clauses import HornClause
 from ..logic.terms import Constant, Term, Variable, is_constant, is_variable
 from .instance import DatabaseInstance
+from .relation import RelationInstance
 from .tuples import Tuple
 
 __all__ = ["ClauseEvaluator"]
@@ -129,7 +130,9 @@ class ClauseEvaluator:
                 return True
         return False
 
-    def _candidate_tuples(self, relation, goal: Literal, bindings: dict[Variable, object]):
+    def _candidate_tuples(
+        self, relation: RelationInstance, goal: Literal, bindings: dict[Variable, object]
+    ) -> Iterable[Tuple]:
         """Use the most selective bound argument to narrow the scan."""
         best: list[Tuple] | None = None
         for index, term in enumerate(goal.terms):
@@ -182,7 +185,7 @@ class ClauseEvaluator:
         return ok and self._solve(goals, position + 1, bindings)
 
     @staticmethod
-    def _ground(term: Term, bindings: dict[Variable, object]):
+    def _ground(term: Term, bindings: dict[Variable, object]) -> object:
         if is_constant(term):
             return term.value
         return bindings.get(term, _MISSING)

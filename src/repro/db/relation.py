@@ -23,10 +23,10 @@ measures the interned core against exactly that mode.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Iterator, Mapping
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from .index import AttributeIndex, PairValueIndex, ValueIndex
-from .interning import IdentityInterner, ValueInterner
+from .interning import AnyInterner, IdentityInterner, ValueId, ValueInterner
 from .schema import RelationSchema
 from .tuples import Tuple
 from .types import coerce_value
@@ -199,11 +199,11 @@ class RelationInstance:
         """Return a (materialised) copy of the tuple list."""
         return [self.tuple_at(row) for row in range(len(self._views))]
 
-    def row_ids(self, row: int) -> tuple:
+    def row_ids(self, row: int) -> tuple[ValueId, ...]:
         """The id row at *row*: one value id per attribute, in schema order."""
         return tuple(column[row] for column in self._columns)
 
-    def column_ids(self, position: int):
+    def column_ids(self, position: int) -> Sequence[ValueId]:
         """The raw id column of one attribute (read-only by convention)."""
         return self._columns[position]
 
@@ -214,6 +214,7 @@ class RelationInstance:
         """``σ_{A = value}(R)`` using the attribute hash index."""
         position = self.schema.position_of(attribute_name)
         rows = self._attribute_indexes[position].rows_for(self.interner.id_of(value))
+        # arch-lint: disable=DT01 — AttributeIndex.rows_for returns an ascending tuple
         return [self.tuple_at(row) for row in rows]
 
     def select_equal_many(self, attribute_name: str, values: Iterable[object]) -> dict[object, list[Tuple]]:
@@ -227,6 +228,7 @@ class RelationInstance:
         index = self._attribute_indexes[position]
         id_of = self.interner.id_of
         return {
+            # arch-lint: disable=DT01 — AttributeIndex.rows_for returns an ascending tuple
             value: [self.tuple_at(row) for row in index.rows_for(id_of(value))] for value in values
         }
 
@@ -260,23 +262,23 @@ class RelationInstance:
     # ------------------------------------------------------------------ #
     # index-backed lookups (id-level API — what the chase runs on)
     # ------------------------------------------------------------------ #
-    def rows_equal_id(self, attribute_name: str, key: object) -> tuple[int, ...]:
+    def rows_equal_id(self, attribute_name: str, key: ValueId) -> tuple[int, ...]:
         """Rows whose attribute holds value id *key*, ascending."""
         position = self.schema.position_of(attribute_name)
         return self._attribute_indexes[position].rows_for(key)
 
-    def rows_equal_ids(self, attribute_name: str, keys: Iterable[object]) -> dict[object, tuple[int, ...]]:
+    def rows_equal_ids(self, attribute_name: str, keys: Iterable[ValueId]) -> dict[ValueId, tuple[int, ...]]:
         position = self.schema.position_of(attribute_name)
         return self._attribute_indexes[position].rows_for_many(keys)
 
-    def rows_with_id(self, key: object) -> frozenset[int]:
+    def rows_with_id(self, key: ValueId) -> frozenset[int]:
         """Rows containing value id *key* in any attribute."""
         return self._value_index.rows_for(key)
 
-    def rows_with_ids(self, keys: Iterable[object]) -> dict[object, frozenset[int]]:
+    def rows_with_ids(self, keys: Iterable[ValueId]) -> dict[ValueId, frozenset[int]]:
         return self._value_index.rows_for_many(keys)
 
-    def contains_id(self, key: object) -> bool:
+    def contains_id(self, key: ValueId) -> bool:
         return key in self._value_index
 
     def has_duplicate_rows(self) -> bool:
@@ -327,7 +329,7 @@ class RelationInstance:
         clone._dup_cache = self._dup_cache
         return clone
 
-    def map_tuples(self, transform) -> "RelationInstance":
+    def map_tuples(self, transform: Callable[[Tuple], Mapping[str, object] | tuple | list | Tuple]) -> "RelationInstance":
         """Return a new instance with *transform* applied to every tuple."""
         clone = RelationInstance(self.schema, self.interner)
         for tup in self:

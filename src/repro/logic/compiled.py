@@ -38,7 +38,7 @@ already made it between two reference runs with different limits.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, NewType, Sequence
 
 from .atoms import ComparisonOp, Literal, LiteralKind
 from .clauses import HornClause
@@ -48,7 +48,17 @@ from .terms import Term, Variable, is_variable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (subsumption imports us)
     from .subsumption import PreparedClause, PreparedGeneral
 
-__all__ = ["TermInterner", "ClauseCompiler", "CompiledGeneral", "CompiledSpecific"]
+__all__ = ["TermId", "TermInterner", "ClauseCompiler", "CompiledGeneral", "CompiledSpecific"]
+
+#: Opaque alias for the dense term ids handed out by :class:`TermInterner`.
+#: Distinct from :data:`repro.db.interning.ValueId` on purpose: the two id
+#: planes are meaningless relative to each other's dictionaries, and typing
+#: them separately lets mypy reject a term id flowing into a value-id probe
+#: (or vice versa) at signature boundaries.  At runtime a ``TermId`` is
+#: exactly an ``int``.  Goal argument *codes* stay plain ``int``: a code
+#: mixes term ids (``>= 0``) with complemented slot numbers (``< 0``), so it
+#: is deliberately not a ``TermId``.
+TermId = NewType("TermId", int)
 
 #: Comparison / condition operator codes on the integer plane.
 _EQ, _SIM, _NEQ = 0, 1, 2
@@ -86,32 +96,34 @@ class TermInterner:
     __slots__ = ("_ids", "_terms", "_is_var", "_lock")
 
     def __init__(self) -> None:
-        self._ids: dict[Term, int] = {}
+        self._ids: dict[Term, TermId] = {}
         self._terms: list[Term] = []
         self._is_var: list[bool] = []
         self._lock = threading.Lock()
 
-    def intern(self, term: Term) -> int:
+    def intern(self, term: Term) -> TermId:
         """Return the id of *term*, assigning the next dense id on first sight."""
+        # TermId() wrapping only happens on the locked first-sight path; hits
+        # return the already-typed id straight out of the dict.
         tid = self._ids.get(term)
         if tid is None:
             with self._lock:
                 tid = self._ids.get(term)
                 if tid is None:
-                    tid = len(self._terms)
+                    tid = TermId(len(self._terms))
                     self._terms.append(term)
                     self._is_var.append(is_variable(term))
                     self._ids[term] = tid
         return tid
 
-    def intern_many(self, terms: Iterable[Term]) -> tuple[int, ...]:
+    def intern_many(self, terms: Iterable[Term]) -> tuple[TermId, ...]:
         intern = self.intern
         return tuple(intern(term) for term in terms)
 
-    def term_of(self, tid: int) -> Term:
+    def term_of(self, tid: TermId) -> Term:
         return self._terms[tid]
 
-    def is_var(self, tid: int) -> bool:
+    def is_var(self, tid: TermId) -> bool:
         return self._is_var[tid]
 
     def __len__(self) -> int:
@@ -185,6 +197,27 @@ class CompiledGeneral:
         "all_triples_ordered",
     )
 
+    # Slots are assigned by ClauseCompiler.compile_general, not in __init__;
+    # the class-level annotations give mypy the attribute types anyway.
+    compiler: "ClauseCompiler"
+    terms: TermInterner
+    clause: HornClause
+    head_key: tuple[str, int]
+    head_codes: tuple[int, ...]
+    nslots: int
+    slot_terms: tuple[Variable, ...]
+    slot_ids: tuple[TermId, ...]
+    var_slot: dict[TermId, int]
+    goals: "tuple[_Goal, ...]"
+    comparison_triples: tuple[tuple[int, int, int], ...]
+    comparison_is_eq: tuple[bool, ...]
+    comparison_literals: tuple[Literal, ...]
+    body_entries: tuple[tuple[bool, int], ...]
+    components: tuple[tuple[tuple[int, ...], tuple[tuple[int, int, int], ...]], ...]
+    ground_triples: tuple[tuple[int, int, int], ...]
+    all_goal_idxs: tuple[int, ...]
+    all_triples_ordered: tuple[tuple[int, int, int], ...]
+
     def witness_theta(self, binding: Sequence[int]) -> Substitution:
         """Decode a binding array back to a boxed substitution."""
         term_of = self.terms.term_of
@@ -230,6 +263,23 @@ class CompiledSpecific:
         "conn_map",
         "has_repairs",
     )
+
+    # Slots are assigned by ClauseCompiler.compile_specific, not in __init__;
+    # the class-level annotations give mypy the attribute types anyway.
+    compiler: "ClauseCompiler"
+    terms: TermInterner
+    head_key: tuple[str, int]
+    head_ids: tuple[TermId, ...]
+    groups: "dict[int, _Group]"
+    rows: list[tuple[TermId, ...]]
+    conds: list[frozenset[tuple[int, int, int]] | None]
+    literal_of: list[Literal]
+    canon_of: list[int]
+    collapse_ids: dict[TermId, TermId]
+    similar: set[tuple[int, int]]
+    unequal: set[tuple[int, int]]
+    conn_map: dict[int, tuple[int, ...]]
+    has_repairs: bool
 
     def witness_mapped(self, assignment: Iterable[int]) -> frozenset[Literal]:
         literal_of = self.literal_of
@@ -294,9 +344,14 @@ class ClauseCompiler:
             compiled = self._specific_cache.get(key)
             if compiled is None:
                 compiled = self.compile_specific(prepared)
-                if len(self._specific_cache) >= _COMPILE_CACHE_SIZE:
-                    self._specific_cache.clear()
-                self._specific_cache[key] = compiled
+                # The compiler is shared across n_jobs worker threads;
+                # eviction (check, clear, insert) must be atomic.  A racing
+                # duplicate compile is fine — forms are pure — but a clear
+                # interleaving with an insert must not lose the entry.
+                with self._lock:
+                    if len(self._specific_cache) >= _COMPILE_CACHE_SIZE:
+                        self._specific_cache.clear()
+                    self._specific_cache[key] = compiled
             prepared.compiled = compiled
         return compiled
 
@@ -368,9 +423,12 @@ class ClauseCompiler:
         compiled.body_entries = tuple(body_entries)
         self._decompose(compiled)
 
-        if len(self._general_cache) >= _COMPILE_CACHE_SIZE:
-            self._general_cache.clear()
-        self._general_cache[key] = compiled
+        # See compiled_specific_for: shared across worker threads, so the
+        # eviction-and-insert pair must hold the compiler lock.
+        with self._lock:
+            if len(self._general_cache) >= _COMPILE_CACHE_SIZE:
+                self._general_cache.clear()
+            self._general_cache[key] = compiled
         return compiled
 
     def _decompose(self, compiled: CompiledGeneral) -> None:
@@ -440,7 +498,7 @@ class ClauseCompiler:
         compiled.head_key = (head.predicate, head.arity)
         compiled.head_ids = tuple(intern(collapse.find(t)) for t in head.terms)
 
-        rows: list[tuple[int, ...]] = []
+        rows: list[tuple[TermId, ...]] = []
         conds: list[frozenset[tuple[int, int, int]] | None] = []
         literal_of: list[Literal] = []
         canon_of: list[int] = []
@@ -489,7 +547,9 @@ class ClauseCompiler:
                     continue
                 connected = collapsed_clause.repair_literals_connected_to(literal)
                 if connected:
-                    conn_map[canon_ids[literal]] = tuple(canon_ids[r] for r in connected)
+                    # connected is a set; sort the ids so equal clauses always
+                    # compile to identical conn_map tuples.
+                    conn_map[canon_ids[literal]] = tuple(sorted(canon_ids[r] for r in connected))
         compiled.conn_map = conn_map
         return compiled
 

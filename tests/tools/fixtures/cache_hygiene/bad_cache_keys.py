@@ -1,0 +1,12 @@
+"""CH02 should-fail fixture: identity-keyed and unhashable-keyed caches."""
+
+
+class Memo:
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, obj, value):
+        self._cache[id(obj)] = value
+
+    def probe(self, values):
+        return self._cache.get(list(values))

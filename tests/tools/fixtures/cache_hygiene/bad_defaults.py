@@ -1,0 +1,13 @@
+"""CH01 should-fail fixture: mutable default arguments."""
+
+
+def accumulate(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tagged(item, *, tags={}):
+    return item, tags
+
+
+handler = lambda items=set(): items  # noqa: E731

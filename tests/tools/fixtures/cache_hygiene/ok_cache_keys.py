@@ -1,0 +1,12 @@
+"""CH02 should-pass fixture: caches keyed by stable hashable values."""
+
+
+class Memo:
+    def __init__(self):
+        self._cache = {}
+
+    def put(self, key, value):
+        self._cache[tuple(key)] = value
+
+    def probe(self, key):
+        return self._cache.get(tuple(key))

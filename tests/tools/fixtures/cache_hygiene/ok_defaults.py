@@ -1,0 +1,11 @@
+"""CH01 should-pass fixture: None defaults, containers created inside."""
+
+
+def accumulate(item, bucket=None):
+    bucket = [] if bucket is None else bucket
+    bucket.append(item)
+    return bucket
+
+
+def tagged(item, *, tags=None):
+    return item, tags if tags is not None else {}

@@ -1,0 +1,13 @@
+"""DT01 should-fail fixture: set iteration reaching ordered sinks."""
+
+
+def fixes_order(relation):
+    names = {"b", "a"}
+    ordered = list(names)
+    out = []
+    for name in names:
+        out.append(name)
+    joined = ",".join(names)
+    values = relation.distinct_values("title")
+    listed = [value for value in values]
+    return ordered, out, joined, listed

@@ -1,0 +1,11 @@
+"""DT01 should-pass fixture: sorted() or order-free consumers throughout."""
+
+
+def deterministic(relation):
+    names = {"b", "a"}
+    ordered = sorted(names)
+    total = len(names)
+    largest = max(names)
+    values = sorted(relation.distinct_values("title"), key=repr)
+    copied = set(names)
+    return ordered, total, largest, values, copied

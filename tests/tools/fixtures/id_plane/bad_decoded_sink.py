@@ -1,0 +1,7 @@
+"""ID02 should-fail fixture: decoded values flow straight into id sinks."""
+
+
+def leak(index, interner, vid):
+    rows = index.rows_for(interner.value_of(vid))
+    index.rows_equal_id("title", interner.value_of(vid))
+    return rows

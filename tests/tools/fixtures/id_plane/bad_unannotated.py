@@ -1,0 +1,10 @@
+"""ID01 should-fail fixture: functions with missing annotations."""
+
+
+def missing_everything(value, count=0):
+    return value, count
+
+
+class Box:
+    def method(self, key) -> None:
+        self.key = key

@@ -1,0 +1,10 @@
+"""ID01 should-pass fixture: fully annotated functions."""
+
+
+def annotated(value: int, *rest: int, flag: bool = False, **extra: int) -> int:
+    return value if flag else -value
+
+
+class Box:
+    def method(self, key: str) -> None:
+        self.key = key

@@ -1,0 +1,8 @@
+"""ID02 should-pass fixture: ids stay ids; decoding happens off the id plane."""
+
+
+def fine(index, interner, value):
+    vid = interner.id_of(value)
+    rows = index.rows_for(vid)
+    decoded = interner.value_of(vid)
+    return rows, decoded

@@ -1,0 +1,15 @@
+"""Suppression fixture: inline disables silence specific findings."""
+
+
+def suppressed_inline():
+    names = {"b", "a"}
+    trailing = list(names)  # arch-lint: disable=DT01
+    # arch-lint: disable=DT01 — rows are pre-sorted upstream
+    above = list(names)
+    joined = ",".join(names)  # arch-lint: disable=all
+    return trailing, above, joined
+
+
+def not_suppressed():
+    names = {"b", "a"}
+    return list(names)

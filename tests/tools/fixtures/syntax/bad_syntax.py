@@ -1,0 +1,5 @@
+"""E000 fixture: this file deliberately does not parse."""
+
+
+def broken(:
+    pass

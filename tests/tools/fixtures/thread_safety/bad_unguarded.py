@@ -1,0 +1,13 @@
+"""TS01 should-fail fixture: shared-class writes outside __init__, no lock."""
+
+import threading
+
+
+class CoverageEngine:
+    def __init__(self):
+        self._verdict_cache = {}
+        self._lock = threading.Lock()
+
+    def record(self, key, verdict):
+        self._verdict_cache[key] = verdict
+        self.last = verdict

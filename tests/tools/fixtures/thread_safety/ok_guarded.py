@@ -1,0 +1,22 @@
+"""TS01 should-pass fixture: writes under a lock, in __init__, or per-thread."""
+
+import threading
+
+
+class CoverageEngine:
+    def __init__(self):
+        self._verdict_cache = {}
+        self._lock = threading.Lock()
+        self._thread_state = threading.local()
+
+    def record(self, key, verdict):
+        with self._lock:
+            self._verdict_cache[key] = verdict
+
+    def bind_checker(self, checker):
+        self._thread_state.checker = checker
+
+
+class UnsharedHelper:
+    def mutate_freely(self, value):
+        self.value = value

@@ -1,0 +1,111 @@
+"""Recorded-baseline store: known violations that do not fail the build.
+
+The baseline exists so the linter can be adopted (and extended with new
+rules) without blocking on fixing every historical finding at once — while
+still failing the build on any *new* violation.  This PR ships with the
+baseline at (near) zero: the real defects the first run surfaced were fixed,
+not recorded.
+
+Format — one violation per line, tab-separated::
+
+    <rule-id>\t<repo-relative path>\t<fingerprint>\t<message>
+
+Fingerprints hash the rule, path, the *content* of the flagged source line
+and its occurrence index among identical lines — not the line number — so
+unrelated edits to a file do not churn the baseline.  The file must be
+sorted and duplicate-free; :func:`load_baseline` enforces this on every
+load (not just in CI) so drift is caught the moment someone hand-edits it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import Violation
+
+__all__ = ["Baseline", "BaselineError", "fingerprint", "load_baseline", "render_baseline"]
+
+
+class BaselineError(ValueError):
+    """Raised for malformed, unsorted, or duplicated baseline files."""
+
+
+def fingerprint(rule_id: str, relpath: str, source_line: str, occurrence: int) -> str:
+    """Stable identity of one violation; see module docstring for the design."""
+    payload = f"{rule_id}:{relpath}:{source_line.strip()}:{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of accepted violation fingerprints."""
+
+    entries: frozenset[tuple[str, str, str]]  # (rule, path, fingerprint)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries=frozenset())
+
+    def accepts(self, violation: "Violation") -> bool:
+        return (violation.rule, violation.path, violation.fingerprint) in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _parse_line(line: str, line_number: int) -> tuple[str, str, str]:
+    parts = line.split("\t")
+    if len(parts) < 3:
+        raise BaselineError(
+            f"baseline line {line_number} is malformed (expected rule\\tpath\\tfingerprint\\t"
+            f"message): {line!r}"
+        )
+    return (parts[0], parts[1], parts[2])
+
+
+def load_baseline(path: str) -> Baseline:
+    """Load and validate a baseline file; raises :class:`BaselineError` on drift."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw_lines = handle.read().splitlines()
+    except FileNotFoundError:
+        return Baseline.empty()
+    lines = [line for line in raw_lines if line.strip() and not line.startswith("#")]
+    if lines != sorted(lines):
+        raise BaselineError(
+            f"baseline {path} is not sorted; regenerate with --update-baseline "
+            "(sorted files keep diffs reviewable)"
+        )
+    if len(lines) != len(set(lines)):
+        raise BaselineError(f"baseline {path} contains duplicate entries")
+    entries = set()
+    for number, line in enumerate(lines, start=1):
+        entry = _parse_line(line, number)
+        if entry in entries:
+            raise BaselineError(
+                f"baseline {path} records the same violation twice: {line!r}"
+            )
+        entries.add(entry)
+    return Baseline(entries=frozenset(entries))
+
+
+_HEADER = (
+    "# arch-lint baseline: accepted violations (rule<TAB>path<TAB>fingerprint<TAB>message).\n"
+    "# Regenerate with: PYTHONPATH=src python -m tools.arch_lint src tests --update-baseline\n"
+    "# Keep this at (or near) zero: fix findings instead of recording them.\n"
+)
+
+
+def render_baseline(violations: Iterable["Violation"]) -> str:
+    lines = sorted(
+        {f"{v.rule}\t{v.path}\t{v.fingerprint}\t{v.message}" for v in violations}
+    )
+    return _HEADER + "".join(line + "\n" for line in lines)
+
+
+def save_baseline(path: str, violations: Iterable["Violation"]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_baseline(violations))

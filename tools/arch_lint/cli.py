@@ -1,0 +1,106 @@
+"""``python -m tools.arch_lint`` — the CLI CI runs.
+
+Exit codes: 0 = clean (no violations outside the baseline), 1 = new
+violations (or baseline format drift), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from .baseline import BaselineError, load_baseline, save_baseline
+from .config import DEFAULT_CONFIG_PATH, load_config
+from .engine import LintEngine
+from .rules import all_rules
+
+DEFAULT_BASELINE_PATH = os.path.join(os.path.dirname(__file__), "baseline.txt")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.arch_lint",
+        description="Architectural lint: id-plane, determinism, thread-safety and cache-hygiene rules.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"], help="files or directories to scan")
+    parser.add_argument("--config", default=DEFAULT_CONFIG_PATH, help="config TOML path")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE_PATH, help="baseline file path")
+    parser.add_argument("--no-baseline", action="store_true", help="ignore the baseline (report everything)")
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record all current violations as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="only validate the baseline file (sorted, deduplicated, well-formed)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="ID",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="list registered rules and exit")
+    parser.add_argument("--verbose", action="store_true", help="also print baselined/suppressed counts")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id}  {rule.name}\n    {rule.description}")
+        return 0
+
+    if args.check_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"arch-lint: {exc}", file=sys.stderr)
+            return 1
+        print(f"baseline OK: {len(baseline)} recorded violations in {args.baseline}")
+        return 0
+
+    unknown = set(args.rules or ()) - set(all_rules())
+    if unknown:
+        print(f"arch-lint: unknown rule id(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    config = load_config(args.config)
+    engine = LintEngine(config)
+
+    if args.update_baseline:
+        result = engine.lint_paths(args.paths, baseline=None, only_rules=args.rules)
+        save_baseline(args.baseline, result.violations)
+        print(
+            f"baseline updated: {len(result.violations)} violations recorded in {args.baseline} "
+            f"({result.files_scanned} files scanned)"
+        )
+        return 0
+
+    try:
+        baseline = None if args.no_baseline else load_baseline(args.baseline)
+    except BaselineError as exc:
+        print(f"arch-lint: {exc}", file=sys.stderr)
+        return 1
+
+    result = engine.lint_paths(args.paths, baseline=baseline, only_rules=args.rules)
+    for violation in result.new_violations:
+        print(violation.render())
+    if args.verbose or result.new_violations:
+        print(
+            f"arch-lint: {len(result.new_violations)} new, {len(result.baselined)} baselined, "
+            f"{result.suppressed_count} suppressed across {result.files_scanned} files",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

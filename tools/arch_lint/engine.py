@@ -1,0 +1,195 @@
+"""The lint engine: file walking, rule dispatch, suppressions, baseline diff."""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .baseline import Baseline, fingerprint
+from .config import LintConfig
+from .rules import all_rules
+from .rules.base import ModuleContext, Rule
+
+__all__ = ["LintEngine", "Violation", "LintResult"]
+
+#: Inline suppression: ``# arch-lint: disable=DT01`` (or ``disable=DT01,TS01``,
+#: or ``disable=all``) on the flagged line, or alone on the line above it.
+_SUPPRESS_RE = re.compile(r"#\s*arch-lint:\s*disable=([A-Za-z0-9_,* ]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding, with the stable fingerprint the baseline keys on."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fingerprint: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    violations: tuple[Violation, ...]  # everything found (post-suppression)
+    new_violations: tuple[Violation, ...]  # not covered by the baseline
+    baselined: tuple[Violation, ...]
+    suppressed_count: int
+    files_scanned: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.new_violations
+
+
+def _iter_python_files(paths: Sequence[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                files.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames if d not in ("__pycache__", ".git"))
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    files.append(os.path.join(dirpath, filename))
+    return sorted(set(files))
+
+
+def _relpath(path: str, root: str) -> str:
+    rel = os.path.relpath(os.path.abspath(path), root)
+    return rel.replace(os.sep, "/")
+
+
+def _suppressions(lines: list[str]) -> dict[int, set[str]]:
+    """Line number -> rule ids suppressed there (``*`` suppresses all).
+
+    A suppression comment covers its own line; a comment on a line of its own
+    also covers the next line, so long flagged statements can carry the
+    comment above instead of trailing it.
+    """
+    table: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {
+            part.strip().replace("all", "*")
+            for part in match.group(1).split(",")
+            if part.strip()
+        }
+        table.setdefault(number, set()).update(rules)
+        if line.lstrip().startswith("#"):  # standalone comment: covers the next line
+            table.setdefault(number + 1, set()).update(rules)
+    return table
+
+
+class LintEngine:
+    """Applies every enabled rule to every scanned module."""
+
+    def __init__(
+        self,
+        config: LintConfig,
+        *,
+        root: str | None = None,
+        rules: dict[str, Rule] | None = None,
+    ) -> None:
+        self.config = config
+        self.root = os.path.abspath(root) if root is not None else os.getcwd()
+        self.rules = rules if rules is not None else all_rules()
+
+    # ------------------------------------------------------------------ #
+    def lint_paths(
+        self,
+        paths: Sequence[str],
+        *,
+        baseline: Baseline | None = None,
+        only_rules: Iterable[str] | None = None,
+    ) -> LintResult:
+        wanted = set(only_rules) if only_rules is not None else None
+        violations: list[Violation] = []
+        suppressed = 0
+        files = [
+            path
+            for path in _iter_python_files(paths)
+            if not self.config.excluded(_relpath(path, self.root))
+        ]
+        for path in files:
+            found, skipped = self._lint_file(path, wanted)
+            violations.extend(found)
+            suppressed += skipped
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        accepted = baseline if baseline is not None else Baseline.empty()
+        new = tuple(v for v in violations if not accepted.accepts(v))
+        old = tuple(v for v in violations if accepted.accepts(v))
+        return LintResult(
+            violations=tuple(violations),
+            new_violations=new,
+            baselined=old,
+            suppressed_count=suppressed,
+            files_scanned=len(files),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _lint_file(self, path: str, wanted: set[str] | None) -> tuple[list[Violation], int]:
+        relpath = _relpath(path, self.root)
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            # Surface as a violation instead of crashing the run: a file that
+            # does not parse cannot be certified against any invariant.
+            message = f"file does not parse: {exc.msg}"
+            return (
+                [
+                    Violation(
+                        rule="E000",
+                        path=relpath,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=message,
+                        fingerprint=fingerprint("E000", relpath, message, 0),
+                    )
+                ],
+                0,
+            )
+        lines = source.splitlines()
+        module = ModuleContext(relpath=relpath, tree=tree, lines=lines)
+        suppression_table = _suppressions(lines)
+        occurrence: dict[tuple[str, str], int] = {}
+        found: list[Violation] = []
+        suppressed = 0
+        for rule_id, rule in sorted(self.rules.items()):
+            if wanted is not None and rule_id not in wanted:
+                continue
+            rule_config = self.config.rule_config(rule_id)
+            if not rule_config.applies_to(relpath):
+                continue
+            for raw in rule.check(module, rule_config):
+                suppressors = suppression_table.get(raw.line, set())
+                if "*" in suppressors or rule_id in suppressors:
+                    suppressed += 1
+                    continue
+                source_line = module.source_line(raw.line)
+                key = (rule_id, source_line.strip())
+                index = occurrence.get(key, 0)
+                occurrence[key] = index + 1
+                found.append(
+                    Violation(
+                        rule=rule_id,
+                        path=relpath,
+                        line=raw.line,
+                        col=raw.col,
+                        message=raw.message,
+                        fingerprint=fingerprint(rule_id, relpath, source_line, index),
+                    )
+                )
+        return found, suppressed

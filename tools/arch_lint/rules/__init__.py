@@ -1,0 +1,42 @@
+"""Rule registry.
+
+Rules self-register via the :func:`register` decorator at import time; the
+rule modules are imported at the bottom of this file, so ``all_rules()``
+returns the complete registry.  Adding a rule = adding a module here plus a
+``[rules.<ID>]`` table in ``config.toml`` (scopes/options) if it needs one.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from .base import ModuleContext, RawViolation, Rule
+
+__all__ = ["register", "all_rules", "rule_by_id", "Rule", "RawViolation", "ModuleContext"]
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    if not rule_class.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if rule_class.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY[rule_class.id] = rule_class()
+    return rule_class
+
+
+def all_rules() -> dict[str, Rule]:
+    return dict(_REGISTRY)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from exc
+
+
+# Import order defines nothing semantic; modules register on import.
+from . import cache_hygiene, determinism, id_plane, thread_safety  # noqa: E402,F401

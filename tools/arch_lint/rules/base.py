@@ -1,0 +1,76 @@
+"""Rule protocol and per-module context shared by all rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..config import RuleConfig
+
+__all__ = ["ModuleContext", "Rule", "RawViolation"]
+
+
+@dataclass(frozen=True)
+class RawViolation:
+    """A rule finding before fingerprinting: (line, col, message)."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module as rules see it."""
+
+    relpath: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via ``@register``.
+
+    A rule inspects one module's AST and yields :class:`RawViolation`s.  It
+    must be a pure function of (tree, config): rules never read other files,
+    so the engine can scan modules independently and in any order.
+    """
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        raise NotImplementedError
+
+    # Convenience for subclasses.
+    @staticmethod
+    def violation(node: ast.AST, message: str) -> RawViolation:
+        return RawViolation(
+            line=getattr(node, "lineno", 1), col=getattr(node, "col_offset", 0), message=message
+        )
+
+
+def call_name(node: ast.expr) -> str | None:
+    """The trailing name of a called function: ``f`` for ``f(..)``/``x.f(..)``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def walk_scopes(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function scope of the module, outermost first."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+IsSetTyped = Callable[[ast.expr], bool]

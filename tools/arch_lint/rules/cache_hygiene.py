@@ -1,0 +1,123 @@
+"""Cache hygiene: memoisation layers must use sound keys and sound defaults.
+
+**CH01** — mutable default arguments (``def f(x=[])``, ``{}``, ``set()``,
+``list()``, ``dict()``, comprehensions).  The default is evaluated once and
+shared across calls; in a codebase whose sessions are long-lived and shared,
+a mutated default is cross-session state leakage.
+
+**CH02** — suspicious cache keys, scoped to the memoisation-heavy modules:
+
+* *identity keys*: ``id(obj)`` used in a subscript or ``get``/``setdefault``
+  /``pop`` key on a cache-named container.  ``id()`` values are recycled
+  after garbage collection, so identity-keyed caches can serve a stale
+  entry for a brand-new object;
+* *unhashable keys*: a ``list``/``dict``/``set`` literal (or constructor
+  call) used as a cache key — a latent ``TypeError`` on first hit, or, when
+  converted implicitly at each call site, a sign the canonical key form is
+  not pinned down.
+
+Cache-named means the subscripted/probed expression's trailing name contains
+the configured ``cache_name_pattern`` (default ``"cache"``), case-insensitive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import RuleConfig
+from . import register
+from .base import ModuleContext, RawViolation, Rule, call_name
+
+__all__ = ["MutableDefaults", "CacheKeys"]
+
+_MUTABLE_CONSTRUCTORS = ("list", "dict", "set", "defaultdict", "OrderedDict", "Counter")
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node.func) in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaults(Rule):
+    id = "CH01"
+    name = "mutable-default-argument"
+    description = "Default argument values must not be mutable (shared across calls)."
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_literal(default):
+                    yield self.violation(
+                        default,
+                        f"mutable default argument in {name!r}; use None and create "
+                        "the container inside the function",
+                    )
+
+
+def _trailing_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _contains_id_call(node: ast.expr) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and isinstance(child.func, ast.Name) and child.func.id == "id":
+            return True
+    return False
+
+
+def _unhashable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return call_name(node.func) in ("list", "dict", "set")
+    return False
+
+
+@register
+class CacheKeys(Rule):
+    id = "CH02"
+    name = "cache-key-hygiene"
+    description = (
+        "Cache containers must not be keyed by id(...) (identity recycling) or by "
+        "unhashable literals."
+    )
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        pattern = str(config.option("cache_name_pattern", "cache")).lower()
+        for node in ast.walk(module.tree):
+            key: ast.expr | None = None
+            container: str | None = None
+            if isinstance(node, ast.Subscript):
+                container = _trailing_name(node.value)
+                key = node.slice
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in ("get", "setdefault", "pop") and node.args:
+                    container = _trailing_name(node.func.value)
+                    key = node.args[0]
+            if key is None or container is None or pattern not in container.lower():
+                continue
+            if _contains_id_call(key):
+                yield self.violation(
+                    key,
+                    f"cache {container!r} keyed by id(...): id values are recycled after GC; "
+                    "key on stable identity (interned ids, value tuples) instead",
+                )
+            elif _unhashable_literal(key):
+                yield self.violation(
+                    key,
+                    f"cache {container!r} keyed by an unhashable literal; use a tuple/frozenset",
+                )

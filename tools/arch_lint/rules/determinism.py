@@ -1,0 +1,226 @@
+"""Determinism: set iteration must not feed ordering-sensitive structures.
+
+Learned definitions, evaluation reports and benchmark records must be a pure
+function of (data, seed) — never of the process's hash seed.  ``set`` /
+``frozenset`` iteration order is hash order, which for strings varies between
+processes; the moment it reaches an ordered sink (a list, a tuple, a joined
+string, an emitted sequence) the run is no longer reproducible.
+
+**DT01** flags, inside the configured learning/evaluation modules, every
+ordered sink fed by a set-typed expression without an intervening
+``sorted()``:
+
+* ``list(S)`` / ``tuple(S)`` / ``enumerate(S)`` calls,
+* ``sep.join(S)``,
+* list comprehensions iterating a set,
+* ``for`` loops over a set whose body appends/extends a sequence or yields,
+* ``seq.extend(S)``.
+
+Set-typedness is inferred per scope: set literals and comprehensions,
+``set()`` / ``frozenset()`` constructors, set-operator expressions, calls to
+methods this repo conventionally returns sets from (``rows_with_id``,
+``distinct_values``, ...; see ``config.toml``), and local names assigned any
+of the above.  Order-insensitive consumers (``sorted``, ``min``, ``max``,
+``sum``, ``len``, ``any``, ``all``, ``set``, ``frozenset``) sanction their
+argument.
+
+Dict iteration is insertion-ordered in CPython >= 3.7 and this repo builds
+its dicts deterministically, so dict-valued iteration is only flagged when
+``include_dict_iteration`` is enabled in the rule's config.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import RuleConfig
+from . import register
+from .base import ModuleContext, RawViolation, Rule, call_name
+
+__all__ = ["SetIterationOrder"]
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+_SET_METHODS = ("union", "intersection", "difference", "symmetric_difference", "copy")
+_ORDER_FREE_CONSUMERS = ("sorted", "min", "max", "sum", "len", "any", "all", "set", "frozenset")
+_ORDERED_CALL_SINKS = ("list", "tuple", "enumerate")
+_DICT_VIEW_METHODS = ("keys", "values", "items")
+
+
+def _scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk *scope* without descending into nested function/class scopes."""
+    todo = list(ast.iter_child_nodes(scope))
+    while todo:
+        node = todo.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        todo.extend(ast.iter_child_nodes(node))
+
+
+class _ScopeAnalysis:
+    """Set-typed name inference plus sink detection for one scope."""
+
+    def __init__(self, scope: ast.AST, config: RuleConfig) -> None:
+        self.scope = scope
+        self.set_returning = set(config.option("set_returning_names", []))
+        self.include_dicts = bool(config.option("include_dict_iteration", False))
+        self.set_names: set[str] = set()
+        self.parent: dict[ast.AST, ast.AST] = {}
+        nodes = list(_scope_statements(scope))
+        for node in nodes:
+            for child in ast.iter_child_nodes(node):
+                self.parent[child] = node
+        self._infer_names(nodes)
+
+    # ------------------------------------------------------------------ #
+    # set-typed inference
+    # ------------------------------------------------------------------ #
+    def _infer_names(self, nodes: list[ast.AST]) -> None:
+        for _ in range(4):  # fixpoint; chains of assignments are short
+            before = len(self.set_names)
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    if self.is_set_typed(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                self.set_names.add(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name) and self._is_set_annotation(node.annotation):
+                        self.set_names.add(node.target.id)
+                elif isinstance(node, ast.AugAssign):
+                    if (
+                        isinstance(node.target, ast.Name)
+                        and isinstance(node.op, _SET_OPS)
+                        and (node.target.id in self.set_names or self.is_set_typed(node.value))
+                    ):
+                        self.set_names.add(node.target.id)
+            if len(self.set_names) == before:
+                break
+
+    @staticmethod
+    def _is_set_annotation(annotation: ast.expr) -> bool:
+        if isinstance(annotation, ast.Subscript):
+            annotation = annotation.value
+        if isinstance(annotation, ast.Attribute):
+            return annotation.attr in ("Set", "FrozenSet", "AbstractSet")
+        return isinstance(annotation, ast.Name) and annotation.id in (
+            "set",
+            "frozenset",
+            "Set",
+            "FrozenSet",
+            "AbstractSet",
+        )
+
+    def is_set_typed(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_names
+        if isinstance(node, ast.IfExp):
+            return self.is_set_typed(node.body) or self.is_set_typed(node.orelse)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+            return self.is_set_typed(node.left) or self.is_set_typed(node.right)
+        if isinstance(node, ast.Call):
+            callee = call_name(node.func)
+            if callee in ("set", "frozenset"):
+                return True
+            if callee in self.set_returning:
+                return True
+            if (
+                callee in _SET_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and self.is_set_typed(node.func.value)
+            ):
+                return True
+            if (
+                self.include_dicts
+                and callee in _DICT_VIEW_METHODS
+                and isinstance(node.func, ast.Attribute)
+            ):
+                return True
+        return False
+
+    def is_unordered(self, node: ast.expr) -> bool:
+        """Set-typed, or a generator expression drawing from a set."""
+        if self.is_set_typed(node):
+            return True
+        if isinstance(node, ast.GeneratorExp):
+            return any(self.is_set_typed(gen.iter) for gen in node.generators)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # sinks
+    # ------------------------------------------------------------------ #
+    def _inside_order_free_consumer(self, node: ast.AST) -> bool:
+        parent = self.parent.get(node)
+        if isinstance(parent, ast.Call):
+            return call_name(parent.func) in _ORDER_FREE_CONSUMERS
+        return False
+
+    def sinks(self) -> Iterator[tuple[ast.AST, str]]:
+        for node in _scope_statements(self.scope):
+            if isinstance(node, ast.Call):
+                yield from self._call_sinks(node)
+            elif isinstance(node, ast.ListComp):
+                if self._inside_order_free_consumer(node):
+                    continue
+                for gen in node.generators:
+                    if self.is_set_typed(gen.iter):
+                        yield node, "list comprehension iterates a set; wrap the iterable in sorted(...)"
+                        break
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._loop_sinks(node)
+
+    def _call_sinks(self, node: ast.Call) -> Iterator[tuple[ast.AST, str]]:
+        callee = call_name(node.func)
+        if callee in _ORDERED_CALL_SINKS and node.args and self.is_unordered(node.args[0]):
+            if not self._inside_order_free_consumer(node):
+                yield node, f"{callee}() over a set fixes an arbitrary iteration order; use sorted(...)"
+        elif callee == "join" and isinstance(node.func, ast.Attribute) and node.args:
+            if self.is_unordered(node.args[0]):
+                yield node, "str.join over a set produces a hash-order string; use sorted(...)"
+        elif callee == "extend" and isinstance(node.func, ast.Attribute) and node.args:
+            if self.is_unordered(node.args[0]):
+                yield node, "extend() from a set appends in hash order; use sorted(...)"
+
+    def _loop_sinks(self, node: ast.For | ast.AsyncFor) -> Iterator[tuple[ast.AST, str]]:
+        if not self.is_set_typed(node.iter):
+            return
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call):
+                callee = call_name(child.func)
+                if callee in ("append", "extend", "insert") and isinstance(child.func, ast.Attribute):
+                    yield node, (
+                        "loop over a set feeds an ordered sequence "
+                        f"(via .{callee}()); iterate sorted(...) instead"
+                    )
+                    return
+            elif isinstance(child, (ast.Yield, ast.YieldFrom)):
+                yield node, "loop over a set yields in hash order; iterate sorted(...) instead"
+                return
+
+
+@register
+class SetIterationOrder(Rule):
+    id = "DT01"
+    name = "set-iteration-order"
+    description = (
+        "Set/frozenset iteration reaching an ordered sink (list/tuple/join/append/yield) "
+        "without sorted() makes learned outputs depend on the hash seed."
+    )
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        scopes: list[ast.AST] = [module.tree]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        seen: set[tuple[int, int]] = set()
+        for scope in scopes:
+            analysis = _ScopeAnalysis(scope, config)
+            for node, message in analysis.sinks():
+                key = (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.violation(node, message)

@@ -1,0 +1,115 @@
+"""Id-plane discipline: the typed ``ValueId`` / ``TermId`` plane stays typed.
+
+The storage core (:mod:`repro.db`) and the compiled subsumption engine
+(:mod:`repro.logic.compiled`) run on dense integer ids.  Mixing a decoded
+value into an id-keyed probe does not crash — it silently misses every
+lookup (``MISSING_ID`` semantics), which is the worst failure mode there is.
+Two rules keep the plane closed:
+
+* **ID01** — every function in a gated module is fully annotated (all
+  parameters and the return type).  The annotations are what lets the
+  strict-ish mypy job distinguish ``ValueId`` from a decoded value; an
+  unannotated def is a hole in the fence, so the fence is enforced here,
+  locally, without requiring mypy to be installed.
+* **ID02** — a decoded-value producer (``value_of`` / ``decode_many`` /
+  ``term_of``) must not appear directly as an argument to an id-consuming
+  call (``*_id`` / ``*_ids`` suffixed names, index ``rows_for*`` probes,
+  ``id_frequency``).  This is the AST-visible slice of exactly the bug the
+  NewType plane exists to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import RuleConfig
+from . import register
+from .base import ModuleContext, RawViolation, Rule, call_name
+
+__all__ = ["IdPlaneAnnotations", "DecodedValueIntoIdSink"]
+
+
+@register
+class IdPlaneAnnotations(Rule):
+    id = "ID01"
+    name = "id-plane-annotations"
+    description = (
+        "Functions in id-plane modules (src/repro/db, src/repro/logic/compiled.py) "
+        "must be fully annotated so mypy can police ValueId/TermId boundaries."
+    )
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing = self._missing_annotations(node)
+            if missing:
+                yield self.violation(
+                    node,
+                    f"function {node.name!r} is missing annotations for: {', '.join(missing)} "
+                    "(id-plane modules must be fully annotated)",
+                )
+
+    @staticmethod
+    def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+        missing: list[str] = []
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for index, arg in enumerate(positional):
+            if index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        for arg in args.kwonlyargs:
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None:
+            missing.append("return")
+        return missing
+
+
+@register
+class DecodedValueIntoIdSink(Rule):
+    id = "ID02"
+    name = "decoded-value-into-id-sink"
+    description = (
+        "The result of a decode call (value_of/decode_many/term_of) must not be "
+        "passed directly to an id-consuming call (*_id, *_ids, rows_for*, id_frequency)."
+    )
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        decoders = set(config.option("decoders", ["value_of", "decode_many", "term_of"]))
+        consumers = set(config.option("consumers", []))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = call_name(node.func)
+            if callee is None or not self._is_consumer(callee, consumers):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                producer = self._decode_producer(arg, decoders)
+                if producer is not None:
+                    yield self.violation(
+                        arg,
+                        f"decoded value from {producer}() passed to id-consuming call {callee}(); "
+                        "intern it (or keep the id) instead",
+                    )
+
+    @staticmethod
+    def _is_consumer(callee: str, consumers: set[str]) -> bool:
+        return callee.endswith("_id") or callee.endswith("_ids") or callee in consumers
+
+    @staticmethod
+    def _decode_producer(node: ast.expr, decoders: set[str]) -> str | None:
+        if isinstance(node, ast.Starred):
+            node = node.value
+        if isinstance(node, ast.Call):
+            callee = call_name(node.func)
+            if callee in decoders:
+                return callee
+        return None

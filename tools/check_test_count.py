@@ -17,8 +17,8 @@ import sys
 
 import pytest
 
-#: Collected-test floor; the suite held 511 tests when this was last raised.
-MIN_TEST_COUNT = 511
+#: Collected-test floor; the suite held 555 tests when this was last raised.
+MIN_TEST_COUNT = 555
 
 
 class _CollectionCounter:
