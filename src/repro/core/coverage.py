@@ -133,7 +133,12 @@ class CoverageEngine:
         self.config = config
         checker = checker or SubsumptionChecker()
         use_compiled = checker.use_compiled and config.compiled_subsumption
-        if use_compiled != checker.use_compiled or checker.compiler is None:
+        use_kernels = checker.vectorized_kernels and config.vectorized_kernels
+        if (
+            use_compiled != checker.use_compiled
+            or use_kernels != checker.vectorized_kernels
+            or checker.compiler is None
+        ):
             # Clone instead of mutating the caller's instance: a checker
             # passed in may be shared outside this engine, and installing a
             # compiler (or flipping the engine mode) on it would silently
@@ -143,6 +148,7 @@ class CoverageEngine:
                 condition_subset=checker.condition_subset,
                 max_steps=checker.max_steps,
                 use_compiled=use_compiled,
+                vectorized_kernels=use_kernels,
                 compiler=checker.compiler or ClauseCompiler(),
             )
         self.checker = checker
@@ -152,6 +158,13 @@ class CoverageEngine:
         self.compiler = self.checker.compiler
         self._ground_cache: dict[tuple[object, ...], PreparedClause] = {}
         self._verdict_cache: dict[tuple[HornClause, HornClause, bool], bool] = {}
+        #: Mutation-stamp of the database the cached ground clauses (and the
+        #: verdicts derived from them) were built against.  Overlay instances
+        #: support in-place delta mutation (a repair inserting or rewriting a
+        #: covered tuple), which silently invalidates every example-derived
+        #: cache — the stamp check at the prepared-ground funnel detects it.
+        self._database = builder.problem.database
+        self._database_stamp = self._database.mutation_stamp()
         #: Guards verdict-cache mutation: ``batch_covers`` workers record
         #: verdicts concurrently, and the size-cap eviction (check, clear,
         #: insert) is not atomic without it.
@@ -185,6 +198,7 @@ class CoverageEngine:
         values, so an example that appears with both labels (e.g. in
         noisy-label experiments) shares one prepared clause.
         """
+        self._refresh_if_mutated()
         key = self._ground_key(example)
         if key not in self._ground_cache:
             self._ground_cache[key] = self.checker.prepare(self.builder.build(example, ground=True))
@@ -199,6 +213,7 @@ class CoverageEngine:
         up.  Every batched entry point funnels through here, so the covering
         loop, prediction and evaluation all saturate batch-wise.
         """
+        self._refresh_if_mutated()
         missing = [example for example in examples if self._ground_key(example) not in self._ground_cache]
         if missing:
             self.builder.gather_relevant_many(missing)
@@ -206,6 +221,29 @@ class CoverageEngine:
 
     def ground_bottom_clause(self, example: Example) -> HornClause:
         return self.prepared_ground(example).clause
+
+    def _refresh_if_mutated(self) -> None:
+        """Invalidate example-derived caches when the database changed underneath.
+
+        Repairs normally produce *new* (overlay) instances with their own
+        engines, but an :class:`~repro.db.overlay.OverlayInstance` can also be
+        mutated in place (a repair inserting or rewriting a covered tuple via
+        its delta), and a ground bottom clause — and every verdict proved from
+        it — built before that mutation is stale.  The stamp comparison is a
+        handful of integer reads per call, so it guards every prepared-ground
+        funnel entry; on mismatch the ground and verdict caches drop and the
+        chase's database-derived memos are invalidated with them.
+        """
+        stamp = self._database.mutation_stamp()
+        if stamp == self._database_stamp:
+            return
+        with self._verdict_lock:
+            if stamp == self._database_stamp:  # another worker refreshed first
+                return
+            self._ground_cache.clear()
+            self._verdict_cache.clear()
+            self.builder.chase.invalidate()
+            self._database_stamp = stamp
 
     def reset_verdicts(self) -> None:
         """Drop only the verdict cache, keeping prepared and compiled clause forms.
@@ -455,6 +493,7 @@ class CoverageEngine:
                 condition_subset=self.checker.condition_subset,
                 max_steps=self.checker.max_steps,
                 use_compiled=self.checker.use_compiled,
+                vectorized_kernels=self.checker.vectorized_kernels,
                 compiler=self.compiler,
             )
             self._thread_state.checker = checker

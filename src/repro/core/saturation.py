@@ -54,6 +54,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from ..db import kernels as db_kernels
 from ..db.instance import DatabaseInstance
 from ..db.interning import MISSING_ID
 from ..db.overlay import OverlayInstance
@@ -118,6 +119,10 @@ class SaturationCache:
     def store(self, key: tuple, relevant: RelevantTuples) -> None:
         self._entries[key] = relevant
 
+    def clear(self) -> None:
+        """Drop every finished result (the backing database was mutated)."""
+        self._entries.clear()
+
     def __contains__(self, key: tuple) -> bool:
         return key in self._entries
 
@@ -151,6 +156,18 @@ class DatabaseProbeCache:
         self._memoise = not database.interned or isinstance(database, OverlayInstance)
         self._any_rows: dict[tuple[str, object], frozenset[int]] = {}
         self._equal: dict[tuple[str, str, object], tuple[int, ...]] = {}
+
+    def clear(self) -> None:
+        """Drop every memoised answer (the backing database was mutated in place).
+
+        The cache's purity argument assumes an unchanging instance; callers
+        that detect an in-place mutation (via
+        :meth:`repro.db.instance.DatabaseInstance.mutation_stamp`) clear the
+        memos so the next probe recomputes against the current contents.
+        """
+        self._frequency.clear()
+        self._any_rows.clear()
+        self._equal.clear()
 
     # -- global value frequency (drives the chaseability test) ---------- #
     def value_frequency(self, key: object) -> int:
@@ -297,6 +314,19 @@ class FrontierChase:
         self.cache = cache or SaturationCache()
         self.batched = batched
         self._interner = problem.database.interner
+        #: Route the depth prefetch through the numpy column kernels.  Gated
+        #: to exactly the storage the kernels cover — interned, non-overlay
+        #: instances, whose array('q') columns admit zero-copy views (this is
+        #: also precisely the storage the probe cache does *not* memoise, so
+        #: no memo layer is bypassed).  Results are value-identical either
+        #: way; only the cost profile differs.
+        self._vectorized = (
+            batched
+            and config.vectorized_kernels
+            and db_kernels.HAS_NUMPY
+            and problem.database.interned
+            and not isinstance(problem.database, OverlayInstance)
+        )
         #: (md name, value id) → decoded top-k partner values.
         self._partner_cache: dict[tuple[str, object], tuple[object, ...]] = {}
         #: value id → chaseability verdict; valid per chase (fixed config limit).
@@ -371,6 +401,19 @@ class FrontierChase:
             return isinstance(value, str)
         return self._chaseable(key, self.probes, self._chaseable_memo)
 
+    def invalidate(self) -> None:
+        """Drop every database-derived memo after an in-place mutation.
+
+        Relation-level caches (index entries, canonical-row maps) invalidate
+        themselves on insert; what this clears are the layers stacked above
+        the storage — finished chase results, the shared probe cache and the
+        chaseability memo, all of which assumed an unchanging instance.
+        Driven by the coverage engine's mutation-stamp check.
+        """
+        self.cache.clear()
+        self.probes.clear()
+        self._chaseable_memo.clear()
+
     # ------------------------------------------------------------------ #
     # the batched chase
     # ------------------------------------------------------------------ #
@@ -411,7 +454,11 @@ class FrontierChase:
         for relation in database:
             if not self._relation_allowed(relation.schema):
                 continue
-            tables[relation.schema.name] = self.probes.any_rows_table(relation, union_frontier)
+            tables[relation.schema.name] = (
+                relation.any_rows_table_vectorized(union_frontier)
+                if self._vectorized
+                else self.probes.any_rows_table(relation, union_frontier)
+            )
             if not probe_mds:
                 continue
             relation_name = relation.schema.name
@@ -436,7 +483,13 @@ class FrontierChase:
                         if partner != value:
                             partner_keys.add(id_of(partner))
                 if partner_keys:
-                    self.probes.prefetch_equal(relation, to_attribute, partner_keys)
+                    if self._vectorized:
+                        # One numpy pass over the id column, seeding the
+                        # attribute index with pre-frozen entries for the
+                        # per-key probes the depth's advance will issue.
+                        relation.rows_equal_ids_vectorized(to_attribute, partner_keys)
+                    else:
+                        self.probes.prefetch_equal(relation, to_attribute, partner_keys)
         return tables
 
     # ------------------------------------------------------------------ #

@@ -226,7 +226,10 @@ class DatabasePreparation:
         #: relative to one interner, so every session over this database (the
         #: covering loop, prediction batches, cross-validation folds) compiles
         #: its clauses through the same dictionary and compiled clause forms
-        #: stay valid across sessions.
+        #: stay valid across sessions.  The numpy binding-matrix planes of
+        #: the vectorised kernels cache on those compiled forms
+        #: (:func:`repro.logic.kernels.specific_plane`), so they are shared
+        #: through the preparation as well.
         self.compiler = ClauseCompiler()
         self._md_caches: dict[str, _MdIndexCache] = {}
 
@@ -328,7 +331,12 @@ class LearningSession:
             problem, config, self.similarity_indexes, chase=self.chase, assembler=self.assembler
         )
         self.engine = CoverageEngine(
-            self.builder, config, SubsumptionChecker(compiler=self.preparation.compiler)
+            self.builder,
+            config,
+            SubsumptionChecker(
+                compiler=self.preparation.compiler,
+                vectorized_kernels=config.vectorized_kernels,
+            ),
         )
         self.generalizer = Generalizer(self.engine, config, Sampler(config.seed))
         self._serial_saturation = serial_saturation

@@ -196,6 +196,21 @@ class DatabaseInstance:
     # ------------------------------------------------------------------ #
     # content identity
     # ------------------------------------------------------------------ #
+    def mutation_stamp(self) -> tuple:
+        """Cheap token that changes whenever this instance's contents change in place.
+
+        Plain instances are insert-only (repairs build new instances or
+        overlays), so per-relation row counts witness every in-place
+        mutation; :class:`~repro.db.overlay.OverlayInstance` extends the
+        stamp with its delta composition.  Session-level caches that derive
+        state from the database (prepared ground clauses, coverage verdicts,
+        chase memos) compare stamps to detect that the instance they were
+        built over has been mutated underneath them — orders of magnitude
+        cheaper than :meth:`content_fingerprint`, and exact for every
+        mutation the public API can express.
+        """
+        return tuple(len(relation) for relation in self._relations.values())
+
     def content_fingerprint(self) -> str:
         """Deterministic digest of the instance's full contents.
 

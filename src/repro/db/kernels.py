@@ -1,0 +1,132 @@
+"""Vectorised column kernels over the interned id columns (numpy).
+
+The interned storage core keeps every relation as one ``array('q')`` id
+column per attribute.  Those buffers are machine ``int64`` end to end, so
+the chase's two bulk probe shapes — "which rows contain any of these ids
+anywhere?" (frontier-row unions) and "which rows equal each of these ids in
+one attribute?" (``select_equal_many``) — can run as dense numpy passes over
+zero-copy column views instead of per-key hash probes.
+
+The kernels are *value-identical* alternatives, not approximations: each
+returns exactly what the corresponding index probe returns
+(:meth:`repro.db.index.ValueIndex.rows_for_many` filtered to non-empty hits,
+:meth:`repro.db.index.AttributeIndex.rows_for_many` with ascending row
+tuples), so the chase may route through either path freely and the batched
+saturation results stay byte-identical — the equivalence suite asserts this
+property over random instances.
+
+numpy is optional at import time: without it :data:`HAS_NUMPY` is false,
+:func:`vectorizable` rejects every column set, and callers fall back to the
+index probes (the pure-Python reference path).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Sequence
+
+try:  # pragma: no cover - exercised only on numpy-free interpreters
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+__all__ = ["HAS_NUMPY", "equal_rows_table", "membership_table", "vectorizable"]
+
+HAS_NUMPY = np is not None
+
+
+def vectorizable(columns: Sequence[object]) -> bool:
+    """Whether the kernels can run over *columns*.
+
+    Requires numpy and the interned columnar layout — every column a machine
+    ``array('q')``.  Identity-interner columns (plain lists of raw values)
+    and overlay relations (no materialised columns) are rejected; callers
+    answer those through the index probes instead.
+    """
+    return np is not None and bool(columns) and all(type(column) is array for column in columns)
+
+
+def _column_view(column: "array[int]") -> "np.ndarray":
+    """Zero-copy ``int64`` view of one id column (valid for this call only)."""
+    if not len(column):
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(column, dtype=np.int64)
+
+
+def _sorted_keys(keys: Iterable[int]) -> "np.ndarray":
+    key_list = list(keys)
+    if not key_list:
+        return np.empty(0, dtype=np.int64)
+    return np.unique(np.array(key_list, dtype=np.int64))
+
+
+def _match_slots(sorted_keys: "np.ndarray", col: "np.ndarray") -> "tuple[np.ndarray, np.ndarray]":
+    """Rows of *col* whose value is in *sorted_keys*, with each row's key slot."""
+    slot = np.searchsorted(sorted_keys, col)
+    np.minimum(slot, sorted_keys.size - 1, out=slot)
+    mask = sorted_keys[slot] == col
+    rows = np.nonzero(mask)[0]
+    return rows, slot[rows]
+
+
+def membership_table(
+    columns: Sequence["array[int]"], keys: Iterable[int]
+) -> dict[int, frozenset[int]]:
+    """Frontier-row unions: ``{key → rows containing key in any column}``.
+
+    Only non-empty hits appear in the result — exactly the depth-local probe
+    table shape the batched chase distributes to its examples (see
+    :meth:`repro.core.saturation.DatabaseProbeCache.any_rows_table`).  One
+    ``searchsorted`` pass per column replaces one hash probe per key.
+    """
+    sorted_keys = _sorted_keys(keys)
+    nrows = len(columns[0]) if columns else 0
+    if not sorted_keys.size or not nrows:
+        return {}
+    hits = []
+    for column in columns:
+        rows, slots = _match_slots(sorted_keys, _column_view(column))
+        if rows.size:
+            # Encode (key slot, row) pairs into one int64 so the cross-column
+            # union and per-row dedup collapse into a single np.unique.
+            hits.append(slots * np.int64(nrows) + rows)
+    if not hits:
+        return {}
+    encoded = np.unique(np.concatenate(hits))
+    slots = encoded // nrows
+    rows = encoded - slots * nrows
+    uniq, first = np.unique(slots, return_index=True)
+    bounds = np.append(first, encoded.size)
+    return {
+        int(sorted_keys[s]): frozenset(rows[bounds[i] : bounds[i + 1]].tolist())
+        for i, s in enumerate(uniq)
+    }
+
+
+def equal_rows_table(
+    column: "array[int]", keys: Iterable[int]
+) -> dict[int, tuple[int, ...]]:
+    """Batched ``σ_{A = v}``: ``{key → ascending rows where column == key}``.
+
+    Every requested key appears in the result (missing keys map to the empty
+    tuple), mirroring :meth:`repro.db.index.AttributeIndex.rows_for_many`;
+    the non-empty tuples are byte-identical to frozen index entries, so they
+    can be installed back into the attribute index as pre-frozen results.
+    """
+    key_list = list(keys)
+    table: dict[int, tuple[int, ...]] = {key: () for key in key_list}
+    if not key_list or not len(column):
+        return table
+    sorted_keys = np.unique(np.array(key_list, dtype=np.int64))
+    rows, slots = _match_slots(sorted_keys, _column_view(column))
+    if rows.size:
+        # np.nonzero row order is ascending, and the stable sort by key slot
+        # preserves it within each slot — matching insertion-ordered entries.
+        order = np.argsort(slots, kind="stable")
+        rows = rows[order]
+        slots = slots[order]
+        uniq, first = np.unique(slots, return_index=True)
+        bounds = np.append(first, rows.size)
+        for i, s in enumerate(uniq):
+            table[int(sorted_keys[s])] = tuple(rows[bounds[i] : bounds[i + 1]].tolist())
+    return table

@@ -407,6 +407,22 @@ class OverlayInstance(DatabaseInstance):
         """Total tuple-level delta entries across all touched relations."""
         return sum(relation.delta_size for relation in self.overlay_relations().values())
 
+    def mutation_stamp(self) -> tuple:
+        """Per-relation row counts plus each overlay delta's composition.
+
+        Row counts alone cannot witness a replaced row (replacement is
+        length-preserving), so touched relations contribute their
+        replaced/dropped/added sizes as well — any delta change the overlay
+        API can express moves the stamp (see
+        :meth:`repro.db.instance.DatabaseInstance.mutation_stamp`).
+        """
+        return tuple(
+            (len(relation), len(relation._replaced), len(relation._dropped), len(relation._added))
+            if isinstance(relation, OverlayRelation)
+            else len(relation)
+            for relation in self._relations.values()
+        )
+
     # ------------------------------------------------------------------ #
     # insertion (copy-on-write: base relations are never mutated)
     # ------------------------------------------------------------------ #

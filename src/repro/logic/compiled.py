@@ -262,6 +262,7 @@ class CompiledSpecific:
         "unequal",
         "conn_map",
         "has_repairs",
+        "np_plane",
     )
 
     # Slots are assigned by ClauseCompiler.compile_specific, not in __init__;
@@ -280,6 +281,9 @@ class CompiledSpecific:
     unequal: set[tuple[int, int]]
     conn_map: dict[int, tuple[int, ...]]
     has_repairs: bool
+    #: Lazily built numpy face of the rows (:class:`repro.logic.kernels.SpecificPlane`);
+    #: pure and derived, so a racing rebuild across worker threads is benign.
+    np_plane: object | None
 
     def witness_mapped(self, assignment: Iterable[int]) -> frozenset[Literal]:
         literal_of = self.literal_of
@@ -551,6 +555,7 @@ class ClauseCompiler:
                     # compile to identical conn_map tuples.
                     conn_map[canon_ids[literal]] = tuple(sorted(canon_ids[r] for r in connected))
         compiled.conn_map = conn_map
+        compiled.np_plane = None
         return compiled
 
     def _pair_set(self, pairs: Iterable[frozenset[Term]]) -> set[tuple[int, int]]:
@@ -585,6 +590,7 @@ class CompiledSearch:
         "max_steps",
         "condition_subset",
         "require_connectivity",
+        "allowed_rows",
     )
 
     def __init__(
@@ -605,6 +611,12 @@ class CompiledSearch:
         self.max_steps = max_steps
         self.condition_subset = condition_subset
         self.require_connectivity = False
+        #: goal idx → arc-consistent global rows (repro.logic.kernels.prune);
+        #: other rows provably extend to no witness and are skipped.  Only
+        #: sound for the goal set the sweep covered, so drivers set it per
+        #: search.  Selection still counts unpruned candidates, keeping the
+        #: DFS visit order — and the first witness — identical to unpruned.
+        self.allowed_rows: dict[int, frozenset[int]] | None = None
 
     # ------------------------------------------------------------------ #
     # driver entry points
@@ -718,7 +730,10 @@ class CompiledSearch:
                     break
 
         goal = goals[best_goal]
+        allowed = self.allowed_rows.get(best_goal) if self.allowed_rows else None
         for gidx in best:
+            if allowed is not None and gidx not in allowed:
+                continue
             mark = len(self.trail)
             if not self.match_candidate(goal, gidx):
                 self.undo(mark)
@@ -793,23 +808,38 @@ class CompiledSearch:
         """First candidate of *goal* matching the current bindings, kept bound.
 
         The greedy arm of retained generalization: candidate order is row
-        order (the reference checker's index order), bindings of the first
-        full match stay on the trail, and — like the reference greedy scan —
-        no step budget is charged.
+        order (the reference checker's index order), and bindings of the
+        first full match stay on the trail.
+
+        Budget: the scan charges ``max_steps`` exactly what the reference
+        greedy loop would probe — one step per signature-group candidate up
+        to and including the first match, the whole group when none matches
+        (the reference has no bitmask prefilter and scans every candidate).
+        Charging the *reference* count rather than the rows actually touched
+        keeps the two engines' exhaustion points aligned, so budget-capped
+        retained lists stay identical.  Raises :class:`BudgetExceeded` even
+        after a successful match when the charge tips the budget; bindings
+        are then still on the trail and the caller must undo to its mark.
         """
         group, mask = self.candidate_mask(goal)
-        if not mask:
-            return None
+        if group is None:
+            return None  # no signature group: the reference probes nothing
         base = group.base
+        matched: int | None = None
         while mask:
             low = mask & -mask
             mask ^= low
             gidx = base + low.bit_length() - 1
             mark = len(self.trail)
             if self.match_candidate(goal, gidx):
-                return gidx
+                matched = gidx
+                break
             self.undo(mark)
-        return None
+        if self.max_steps is not None:
+            self.steps += (matched - base + 1) if matched is not None else group.nrows
+            if self.steps > self.max_steps:
+                raise BudgetExceeded()
+        return matched
 
     def match_candidate(self, goal: _Goal, gidx: int) -> bool:
         """Match one candidate row; bindings go on the trail (caller undoes on failure)."""

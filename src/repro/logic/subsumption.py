@@ -42,12 +42,14 @@ from typing import Sequence
 from .atoms import Comparison, ComparisonOp, Condition, Literal, LiteralKind
 from .clauses import HornClause
 from .compiled import BudgetExceeded, ClauseCompiler, CompiledSearch
+from .kernels import HAS_NUMPY, prune, refutes
 from .substitution import Substitution
 from .terms import Constant, Term, Variable, is_constant, is_variable
 
 __all__ = [
     "PreparedClause",
     "PreparedGeneral",
+    "SearchStats",
     "SubsumptionChecker",
     "SubsumptionResult",
     "theta_subsumes",
@@ -115,6 +117,40 @@ class PreparedGeneral:
     #: Lazily attached integer-plane form (:class:`repro.logic.compiled.CompiledGeneral`);
     #: only valid for the :class:`~repro.logic.compiled.ClauseCompiler` that built it.
     compiled: object | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class SearchStats:
+    """Per-checker counters for the binding-matrix certificate's hit profile.
+
+    ``retries`` / ``retry_exhausted`` count the full-backtracking fallbacks
+    of :meth:`SubsumptionChecker.retained_generalization` and how many of
+    them burnt their whole step budget; ``certificates`` counts searches the
+    arc-consistency certificate refuted before they started.  The kernels
+    benchmark diffs these between kernels-on and kernels-off runs to measure
+    how many previously budget-exhausted searches the certificate now
+    short-circuits.  Counters are cumulative; :meth:`reset` rewinds them.
+    """
+
+    checks: int = 0
+    certificates: int = 0
+    retries: int = 0
+    retry_exhausted: int = 0
+
+    def reset(self) -> None:
+        self.checks = self.certificates = self.retries = self.retry_exhausted = 0
+
+
+#: Floor of the first-stage retry probe's step allowance (the probe gets a
+#: quarter of the budget, but never less than this).  Nearly every
+#: backtracking retry resolves within a couple of thousand steps; only the
+#: ones that outlive the probe pay for an arc-consistency sweep
+#: (certificate or pruned full-budget re-search).  The value trades sweep
+#: count against probe waste: low enough that a doomed deep retry barely
+#: dents its budget before the certificate fires, high enough that
+#: mid-depth satisfiable retries finish inside the probe instead of paying
+#: a ~ms sweep each.
+_RETRY_PROBE_STEPS = 1536
 
 
 class _BudgetExceeded(BudgetExceeded):
@@ -213,6 +249,15 @@ class SubsumptionChecker:
         exchange prepared clauses (e.g. the coverage engine's thread-pool
         clones) must share one compiler; omitted, a private one is created
         on first compiled use.
+    vectorized_kernels:
+        Run the arc-consistency unsat certificate (:mod:`repro.logic.kernels`)
+        before compiled searches; a fired certificate refutes without
+        entering the backtracking search.  The certificate is sound and
+        *certificate-only* (inconclusive sweeps fall through to the exact
+        search), so verdicts, witnesses and retained lists are identical
+        either way — the switch only trades certificate overhead against
+        budget burn.  Forced off when numpy is unavailable or the checker
+        runs the pure-Python reference engine.
     """
 
     def __init__(
@@ -223,12 +268,15 @@ class SubsumptionChecker:
         max_steps: int | None = 100_000,
         use_compiled: bool = True,
         compiler: ClauseCompiler | None = None,
+        vectorized_kernels: bool = True,
     ) -> None:
         self.respect_repair_connectivity = respect_repair_connectivity
         self.condition_subset = condition_subset
         self.max_steps = max_steps
         self.use_compiled = use_compiled
         self.compiler = compiler
+        self.vectorized_kernels = vectorized_kernels and use_compiled and HAS_NUMPY
+        self.stats = SearchStats()
         self._steps = 0
 
     def _compiler(self) -> ClauseCompiler:
@@ -312,36 +360,103 @@ class SubsumptionChecker:
         compiler = self._compiler()
         cg = compiler.compiled_general_for(prepared_general)
         cs = compiler.compiled_specific_for(prepared)
-        search = CompiledSearch(
-            cg, cs, condition_subset=self.condition_subset, max_steps=self.max_steps
-        )
         self._steps = 0
-        if not search.seed_head():
+        self.stats.checks += 1
+        budget = self.max_steps
+        if not self.vectorized_kernels or budget is None:
+            search = CompiledSearch(
+                cg, cs, condition_subset=self.condition_subset, max_steps=budget
+            )
+            if not search.seed_head():
+                return SubsumptionResult(False)
+            if self.vectorized_kernels and refutes(
+                cg,
+                cs,
+                search.binding,
+                cg.all_goal_idxs,
+                self.condition_subset,
+                cg.all_triples_ordered,
+            ):
+                # Kernels without a budget: there is no valve to stop a
+                # doomed exhaustive search, so sweep before searching.  The
+                # certificate proved no witness extends the head seed; the
+                # search would necessarily have returned False.
+                self.stats.certificates += 1
+                return SubsumptionResult(False)
+            try:
+                return self._compiled_verdict(cg, cs, search)
+            except BudgetExceeded:
+                return SubsumptionResult(False)
+        # Probe-first two-stage check, mirroring :meth:`_compiled_retry`:
+        # the overwhelming majority of checks resolve within the probe's
+        # allowance at zero kernel overhead; only a check that hits the
+        # probe's valve pays for an arc-consistency sweep — either the
+        # unsat certificate fires (the full search would have burnt the
+        # budget proving the same False) or the full-budget re-search runs
+        # over the sweep's surviving candidate rows.
+        probe = CompiledSearch(
+            cg,
+            cs,
+            condition_subset=self.condition_subset,
+            max_steps=min(budget, max(_RETRY_PROBE_STEPS, budget // 4)),
+        )
+        if not probe.seed_head():
             return SubsumptionResult(False)
         try:
-            found = search.run()
-            if (
-                found
-                and self.respect_repair_connectivity
-                and cs.has_repairs
-                and not search.connectivity_ok()
-            ):
-                # Retry exhaustively for a witness satisfying Definition 4.4's
-                # connectivity requirement, continuing the same step budget —
-                # the reference checker's retry, on the integer plane.
-                retry = CompiledSearch(
-                    cg,
-                    cs,
-                    condition_subset=self.condition_subset,
-                    max_steps=self.max_steps,
-                    steps=search.steps,
-                )
-                retry.seed_head()
-                found = retry.run_with_connectivity()
-                search = retry
-            self._steps = search.steps
+            return self._compiled_verdict(cg, cs, probe)
+        except BudgetExceeded:
+            pass
+        retry = CompiledSearch(
+            cg, cs, condition_subset=self.condition_subset, max_steps=budget
+        )
+        retry.seed_head()
+        allowed = prune(
+            cg, cs, retry.binding, cg.all_goal_idxs, self.condition_subset, cg.all_triples_ordered
+        )
+        if allowed is None:
+            self.stats.certificates += 1
+            return SubsumptionResult(False)
+        retry.allowed_rows = allowed or None
+        try:
+            return self._compiled_verdict(cg, cs, retry)
         except BudgetExceeded:
             return SubsumptionResult(False)
+
+    def _compiled_verdict(
+        self, cg, cs, search: CompiledSearch
+    ) -> SubsumptionResult:
+        """Run *search* to a verdict, retrying for repair connectivity.
+
+        Raises :class:`BudgetExceeded` from the initial search — the caller
+        owns that valve (the probe stage escalates, the full-budget stages
+        concede).  The connectivity retry always runs under the checker's
+        full budget continuing the searched steps, exactly as the reference
+        engine charges it, so its exhaustion is a final False either way.
+        """
+        found = search.run()
+        if (
+            found
+            and self.respect_repair_connectivity
+            and cs.has_repairs
+            and not search.connectivity_ok()
+        ):
+            # Retry exhaustively for a witness satisfying Definition 4.4's
+            # connectivity requirement, continuing the same step budget —
+            # the reference checker's retry, on the integer plane.
+            retry = CompiledSearch(
+                cg,
+                cs,
+                condition_subset=self.condition_subset,
+                max_steps=self.max_steps,
+                steps=search.steps,
+            )
+            retry.seed_head()
+            try:
+                found = retry.run_with_connectivity()
+            except BudgetExceeded:
+                return SubsumptionResult(False)
+            search = retry
+        self._steps = search.steps
         if not found:
             return SubsumptionResult(False)
         return SubsumptionResult(True, search.witness_theta(), search.witness_mapped())
@@ -436,12 +551,18 @@ class SubsumptionChecker:
         compiler = self._compiler()
         cg = compiler.compile_general(general)
         cs = compiler.compiled_specific_for(prepared)
-        state = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=None)
+        # The greedy scans get their own max_steps-sized budget for the whole
+        # loop (separate from each backtracking retry's budget, which resets
+        # per retry exactly like the reference's).  Exhausting it drops the
+        # literal under scan and everything after it — the conservative,
+        # more-general outcome, mirrored step-for-step by the reference loop.
+        state = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=self.max_steps)
         if not state.seed_head():
             return []
         # One head-only search state for the whole loop (the head mapping
-        # never changes); each blocking probe rewinds it to the bare seed.
-        head_state = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=None)
+        # never changes); each blocking probe rewinds it to the bare seed and
+        # shares the greedy budget through explicit step syncing.
+        head_state = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=self.max_steps)
         head_state.seed_head()
         head_mark = len(head_state.trail)
 
@@ -462,13 +583,19 @@ class SubsumptionChecker:
                 # blocking.
                 retry = self._compiled_retry(cg, cs, kept_goals, kept_comps + [index])
                 if retry is not None:
+                    retry.steps = state.steps  # the greedy budget carries over
                     state = retry
                     kept.append(literal)
                     kept_comps.append(index)
                 continue
 
             goal = cg.goals[index]
-            matched = state.greedy_match(goal)
+            mark = len(state.trail)
+            try:
+                matched = state.greedy_match(goal)
+            except BudgetExceeded:
+                state.undo(mark)
+                break  # greedy budget exhausted: drop the rest
             if matched is not None:
                 state.assignment[index] = matched
                 kept.append(goal.literal)
@@ -478,14 +605,21 @@ class SubsumptionChecker:
             # Greedy extension failed.  If the literal cannot be matched even
             # under the head mapping alone it is blocking no matter what the
             # other goals chose — drop it without the expensive retry.
-            matched_under_head = head_state.greedy_match(goal)
+            head_state.steps = state.steps
+            try:
+                matched_under_head = head_state.greedy_match(goal)
+            except BudgetExceeded:
+                head_state.undo(head_mark)
+                break  # greedy budget exhausted: drop the rest
             head_state.undo(head_mark)
+            state.steps = head_state.steps
             if matched_under_head is None:
                 continue
 
             retry = self._compiled_retry(cg, cs, kept_goals + [index], kept_comps)
             if retry is None:
                 continue  # genuinely blocking: drop it
+            retry.steps = state.steps  # the greedy budget carries over
             state = retry
             kept.append(goal.literal)
             kept_goals.append(index)
@@ -494,14 +628,83 @@ class SubsumptionChecker:
     def _compiled_retry(
         self, cg, cs, goal_idxs: list[int], comp_idxs: list[int]
     ) -> CompiledSearch | None:
-        """Full backtracking search used when the greedy witness extension fails."""
-        retry = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=self.max_steps)
+        """Full backtracking search used when the greedy witness extension fails.
+
+        This is where CFD-heavy generalization profiles used to burn the full
+        ``max_steps`` budget: a retry over a doomed goal set explores the
+        whole (exponential) candidate space before conceding.  The kernels
+        engine runs the retry in two stages.  A cheap *probe* search first
+        spends at most a quarter of the budget (floored at
+        :data:`_RETRY_PROBE_STEPS`) — almost every retry resolves there,
+        with zero kernel overhead and the exact outcome the plain engine
+        computes.  Only when the probe hits its
+        valve does the arc-consistency sweep (:mod:`repro.logic.kernels`)
+        run: either it refutes the goal set outright — the unsat certificate
+        — or it hands the full-budget re-search its surviving candidate
+        rows, so the deep search skips the pruned subtrees instead of
+        exploring them to failure.  A certificate only ever fires where the
+        search would have returned ``None`` anyway, and pruning preserves
+        the DFS visit order over witnesses, so with an ample budget retained
+        lists are identical with the kernels on or off.  Under a tight
+        budget the pruned retry simply exhausts later (it skips work the
+        plain engine charges for), which is the point: outcomes can then
+        only move from the conservative budget valve to the retry's real
+        verdict.
+        """
+        self.stats.retries += 1
+        budget = self.max_steps
+        if not self.vectorized_kernels or budget is None:
+            # Plain path — or unbudgeted with kernels: there is no valve to
+            # stop a doomed unbudgeted retry, so sweep before searching.
+            if self.vectorized_kernels:
+                return self._pruned_retry(cg, cs, goal_idxs, comp_idxs, None)
+            retry = CompiledSearch(
+                cg, cs, condition_subset=self.condition_subset, max_steps=budget
+            )
+            retry.seed_head()
+            try:
+                if retry.search(tuple(goal_idxs), cg.ordered_triples(comp_idxs), {}):
+                    return retry
+            except BudgetExceeded:
+                self.stats.retry_exhausted += 1
+            return None
+        # The probe allowance scales with the budget: a sweep only pays for
+        # itself when a certificate (or pruned re-search) can save most of the
+        # budget, so deep-but-satisfiable retries under an ample budget — the
+        # fit path's default 100k — should resolve in the probe rather than
+        # pay a sweep whose certificate almost never fires there.
+        probe = CompiledSearch(
+            cg,
+            cs,
+            condition_subset=self.condition_subset,
+            max_steps=min(budget, max(_RETRY_PROBE_STEPS, budget // 4)),
+        )
+        probe.seed_head()
+        try:
+            if probe.search(tuple(goal_idxs), cg.ordered_triples(comp_idxs), {}):
+                return probe
+            return None  # a completed probe is exactly the plain verdict
+        except BudgetExceeded:
+            return self._pruned_retry(cg, cs, goal_idxs, comp_idxs, budget)
+
+    def _pruned_retry(
+        self, cg, cs, goal_idxs: list[int], comp_idxs: list[int], budget: "int | None"
+    ) -> CompiledSearch | None:
+        """Sweep, then search *goal_idxs* under *budget* with the pruned rows."""
+        retry = CompiledSearch(cg, cs, condition_subset=self.condition_subset, max_steps=budget)
         retry.seed_head()
+        allowed = prune(
+            cg, cs, retry.binding, goal_idxs, self.condition_subset, cg.ordered_triples(comp_idxs)
+        )
+        if allowed is None:
+            self.stats.certificates += 1
+            return None
+        retry.allowed_rows = allowed or None
         try:
             if retry.search(tuple(goal_idxs), cg.ordered_triples(comp_idxs), {}):
                 return retry
         except BudgetExceeded:
-            pass  # treat as blocking: dropping is the conservative choice
+            self.stats.retry_exhausted += 1
         return None
 
     def _retained_reference(self, general: HornClause, prepared: "PreparedClause") -> list[Literal]:
@@ -519,6 +722,12 @@ class SubsumptionChecker:
         kept_structural: list[Literal] = []
         kept_comparisons: list[Literal] = []
         assignment: dict[Literal, Literal] = {}
+        # The greedy scans share one max_steps-sized budget for the whole
+        # loop, charging one step per candidate probed; exhausting it drops
+        # the literal under scan and everything after it.  The compiled loop
+        # charges the identical counts (see CompiledSearch.greedy_match), so
+        # budget-capped retained lists agree between the engines.
+        greedy_steps = 0
 
         for literal in general.body:
             if literal.is_comparison:
@@ -544,13 +753,18 @@ class SubsumptionChecker:
                 continue
 
             extended = None
+            matched_candidate: Literal | None = None
             for candidate in prepared.index.get(literal.signature(), ()):
+                greedy_steps += 1
                 extended = self._match_literal(literal, candidate, theta)
                 if extended is not None:
-                    assignment[literal] = candidate
-                    theta = extended
+                    matched_candidate = candidate
                     break
-            if extended is not None:
+            if self.max_steps is not None and greedy_steps > self.max_steps:
+                break  # greedy budget exhausted: drop the rest
+            if extended is not None and matched_candidate is not None:
+                assignment[literal] = matched_candidate
+                theta = extended
                 kept.append(literal)
                 kept_structural.append(literal)
                 continue
@@ -558,10 +772,15 @@ class SubsumptionChecker:
             # Greedy extension failed.  If the literal cannot be matched even
             # under the head mapping alone it is blocking no matter what the
             # other goals chose — drop it without the expensive retry.
-            if not any(
-                self._match_literal(literal, candidate, head_theta) is not None
-                for candidate in prepared.index.get(literal.signature(), ())
-            ):
+            found_under_head = False
+            for candidate in prepared.index.get(literal.signature(), ()):
+                greedy_steps += 1
+                if self._match_literal(literal, candidate, head_theta) is not None:
+                    found_under_head = True
+                    break
+            if self.max_steps is not None and greedy_steps > self.max_steps:
+                break  # greedy budget exhausted: drop the rest
+            if not found_under_head:
                 continue
 
             # Otherwise the failure may be due to an earlier greedy choice, so

@@ -1,0 +1,128 @@
+"""Vectorised column kernels vs the index probes: value-identical tables.
+
+:mod:`repro.db.kernels` recomputes the two batched probe shapes of the
+frontier chase — "which of these ids occur anywhere in the relation" and
+"σ_{A = v} for many v" — as dense numpy passes over the ``array('q')`` id
+columns.  They are drop-in probe implementations, so the property tests here
+pin exact equality against the hash-index paths over random relations, and
+the unit tests pin the seeding/fallback contracts the wiring relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.db import AttributeType, DatabaseInstance, DatabaseSchema, RelationSchema
+from repro.db.index import AttributeIndex
+from repro.db.kernels import HAS_NUMPY, membership_table, equal_rows_table, vectorizable
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="kernels require numpy")
+
+ROWS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=40,
+)
+# Probe by raw interner ids, deliberately overshooting the dense id range so
+# absent keys are exercised alongside present ones.
+KEYS = st.lists(st.integers(min_value=0, max_value=20), unique=True, max_size=15)
+
+
+def triple_db(rows, *, interned: bool = True) -> DatabaseInstance:
+    schema = DatabaseSchema.of(
+        RelationSchema.of(
+            "r",
+            [("a", AttributeType.INTEGER), ("b", AttributeType.INTEGER), ("c", AttributeType.INTEGER)],
+        )
+    )
+    db = DatabaseInstance(schema, interned=interned)
+    db.insert_many("r", rows)
+    return db
+
+
+class TestKernelEquivalence:
+    @given(rows=ROWS, keys=KEYS)
+    def test_membership_table_matches_the_value_index(self, rows, keys):
+        relation = triple_db(rows).relation("r")
+        assert vectorizable(relation._columns)
+        reference = {key: hit for key, hit in relation.rows_with_ids(keys).items() if hit}
+        assert membership_table(relation._columns, keys) == reference
+
+    @given(rows=ROWS, keys=KEYS)
+    def test_equal_rows_table_matches_the_attribute_index(self, rows, keys):
+        relation = triple_db(rows).relation("r")
+        for attribute in ("a", "b", "c"):
+            position = relation.schema.position_of(attribute)
+            assert equal_rows_table(relation._columns[position], keys) == relation.rows_equal_ids(
+                attribute, keys
+            )
+
+    @given(rows=ROWS, keys=KEYS)
+    def test_relation_facade_matches_the_probe_paths(self, rows, keys):
+        # Two identical relations so seeding on the vectorised one cannot
+        # feed the reference computation.
+        vectorised = triple_db(rows).relation("r")
+        reference = triple_db(rows).relation("r")
+        assert vectorised.any_rows_table_vectorized(keys) == {
+            key: hit for key, hit in reference.rows_with_ids(keys).items() if hit
+        }
+        assert vectorised.rows_equal_ids_vectorized("b", keys) == reference.rows_equal_ids("b", keys)
+
+    @given(rows=ROWS, keys=KEYS)
+    def test_identity_storage_falls_back_to_the_index_path(self, rows, keys):
+        relation = triple_db(rows, interned=False).relation("r")
+        assert not vectorizable(relation._columns)
+        # In identity mode "ids" are the raw values, so integer keys still probe.
+        assert relation.any_rows_table_vectorized(keys) == {
+            key: hit for key, hit in relation.rows_with_ids(keys).items() if hit
+        }
+        assert relation.rows_equal_ids_vectorized("a", keys) == relation.rows_equal_ids("a", keys)
+
+
+class TestSeeding:
+    def test_vectorized_probe_seeds_frozen_index_entries(self):
+        relation = triple_db([(1, 2, 3), (1, 5, 3), (4, 2, 3)]).relation("r")
+        position = relation.schema.position_of("a")
+        key = relation.interner.id_of(1)
+        table = relation.rows_equal_ids_vectorized("a", [key])
+        # The subsequent per-key probe returns the seeded tuple itself.
+        assert relation.rows_equal_id("a", key) is table[key]
+        assert relation._attribute_indexes[position]._entries[key] == (0, 1)
+
+    def test_seed_frozen_skips_empty_and_keeps_frozen_entries(self):
+        index = AttributeIndex()
+        index.add(7, 0)
+        frozen = index.rows_for(7)  # freezes the entry
+        index.seed_frozen({7: (99,), 8: (), 9: (3, 4)})
+        assert index.rows_for(7) is frozen  # already-frozen entry kept
+        assert 8 not in index  # absent key stays absent
+        assert index.rows_for(9) == (3, 4)
+
+    def test_seeding_does_not_disturb_later_inserts(self):
+        relation = triple_db([(1, 2, 3)]).relation("r")
+        key = relation.interner.id_of(2)
+        relation.rows_equal_ids_vectorized("b", [key])
+        relation.insert((6, 2, 6))
+        assert relation.rows_equal_id("b", key) == (0, 1)
+
+
+class TestVectorizable:
+    def test_empty_relation_yields_empty_tables(self):
+        relation = triple_db([]).relation("r")
+        assert vectorizable(relation._columns)
+        assert relation.any_rows_table_vectorized([0, 1]) == {}
+        assert relation.rows_equal_ids_vectorized("a", [0, 1]) == {0: (), 1: ()}
+
+    def test_no_keys_yields_empty_tables(self):
+        relation = triple_db([(1, 2, 3)]).relation("r")
+        assert relation.any_rows_table_vectorized([]) == {}
+        assert relation.rows_equal_ids_vectorized("a", []) == {}
+
+    def test_list_columns_are_not_vectorizable(self):
+        assert not vectorizable([[1, 2], [3, 4]])
+        assert not vectorizable([])

@@ -1,0 +1,271 @@
+"""Vectorised binding-matrix kernels vs the exact search: kernels ≡ reference.
+
+The arc-consistency unsat certificate (:mod:`repro.logic.kernels`) is a
+sound relaxation: whenever it fires, the exact search — compiled or pure
+reference — must refute, and because an inconclusive sweep falls through to
+the exact search, verdicts, witnesses and retained-literal lists must be
+byte-identical with kernels on or off.  The Hypothesis section asserts all
+three properties over the same random clause-pair language the compiled
+engine is validated with.
+
+The budget section pins the hot-path bugfix that rode along: the greedy
+matching pass of ``retained_generalization`` now charges the caller's
+``max_steps`` budget (it used to construct unbounded searches), with
+engine-identical charging, and the certificate short-circuits provably
+doomed backtracking retries before they burn that budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.logic import ClauseCompiler, Constant, HornClause, Variable, relation_literal
+from repro.logic.kernels import HAS_NUMPY, binding_matrix, refutes, specific_plane
+from repro.logic.subsumption import SubsumptionChecker
+
+from test_compiled_subsumption import (
+    CLAUSE_PAIRS,
+    X,
+    Y,
+    _assert_witness_valid,
+    _symmetric_chain_pair,
+    head,
+    reference_checker,
+)
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="kernels require numpy")
+
+A, B, C = Variable("a"), Variable("b"), Variable("c")
+
+
+def kernels_checker(**kwargs) -> SubsumptionChecker:
+    return SubsumptionChecker(use_compiled=True, vectorized_kernels=True, **kwargs)
+
+
+def plain_compiled_checker(**kwargs) -> SubsumptionChecker:
+    return SubsumptionChecker(use_compiled=True, vectorized_kernels=False, **kwargs)
+
+
+def _compiled_pair(general: HornClause, specific: HornClause):
+    """The (CompiledGeneral, CompiledSpecific) plane of one clause pair."""
+    compiler = ClauseCompiler()
+    checker = SubsumptionChecker(use_compiled=True, compiler=compiler)
+    cg = compiler.compile_general(general)
+    cs = compiler.compile_specific(checker.prepare(specific))
+    return cg, cs
+
+
+def _doomed_triangle() -> tuple[HornClause, HornClause]:
+    """A 3-cycle whose slot domains empty under arc-consistency.
+
+    Every literal matches some row in isolation, so the bitmask prefilters
+    alone cannot refute; only propagating the cyclic consistency constraint
+    (the sweep's fixpoint) proves there is no witness.
+    """
+    general = HornClause(
+        head(X),
+        (
+            relation_literal("r", X, Y),
+            relation_literal("s", Y, Variable("z")),
+            relation_literal("t3", Variable("z"), Y),
+        ),
+    )
+    k3, k4, k5 = Constant("k3"), Constant("k4"), Constant("k5")
+    specific = HornClause(
+        head(Constant("k0")),
+        (
+            relation_literal("r", Constant("k0"), k3),
+            relation_literal("s", k3, k4),
+            relation_literal("t3", k4, k5),  # t3 must lead back to y=k3, but leads to k5
+        ),
+    )
+    return general, specific
+
+
+class TestCertificateSoundness:
+    @settings(max_examples=300, deadline=None)
+    @given(CLAUSE_PAIRS)
+    def test_fired_certificate_implies_reference_refutation(self, pair):
+        general, specific = pair
+        cg, cs = _compiled_pair(general, specific)
+        if refutes(cg, cs, [-1] * cg.nslots, cg.all_goal_idxs):
+            assert not reference_checker().subsumes(general, specific).subsumes
+
+    @settings(max_examples=300, deadline=None)
+    @given(CLAUSE_PAIRS)
+    def test_verdicts_and_witnesses_identical_with_kernels_on_and_off(self, pair):
+        general, specific = pair
+        on = kernels_checker().subsumes(general, specific)
+        off = plain_compiled_checker().subsumes(general, specific)
+        assert on.subsumes == off.subsumes
+        assert on.theta == off.theta  # pruned searches return identical witnesses
+        if on.subsumes:
+            _assert_witness_valid(reference_checker(), general, specific, on)
+
+    @settings(max_examples=300, deadline=None)
+    @given(CLAUSE_PAIRS)
+    def test_retained_lists_identical_with_kernels_on_and_off(self, pair):
+        general, specific = pair
+        assert kernels_checker().retained_generalization(
+            general, specific
+        ) == plain_compiled_checker().retained_generalization(general, specific)
+
+    @settings(max_examples=150, deadline=None)
+    @given(CLAUSE_PAIRS)
+    def test_budgeted_retained_lists_identical_unless_the_valve_fired(self, pair):
+        # Pruning skips work the plain engine charges for, so a tight budget
+        # can only diverge where the plain engine's retry hit the valve —
+        # there the kernels engine replaces the conservative guess with the
+        # retry's real verdict.  Without exhaustion the lists are identical.
+        general, specific = pair
+        plain = plain_compiled_checker(max_steps=3)
+        plain_retained = plain.retained_generalization(general, specific)
+        kernels_retained = kernels_checker(max_steps=3).retained_generalization(general, specific)
+        if plain.stats.retry_exhausted == 0:
+            assert kernels_retained == plain_retained
+        else:
+            body = set(general.body)
+            assert all(literal in body for literal in kernels_retained)
+
+
+def _wide_doomed_cycle(width: int) -> tuple[HornClause, HornClause]:
+    """*width* disjoint r→s→t3 chains, none of which closes the cycle.
+
+    Every chain is locally consistent, so the search walks the whole block
+    before conceding — the subsumes-path burn profile — while the sweep
+    empties the cycle slot's domain outright.
+    """
+    general, _ = _doomed_triangle()
+    body = []
+    for i in range(width):
+        body.append(relation_literal("r", Constant("k0"), Constant(f"a{i}")))
+        body.append(relation_literal("s", Constant(f"a{i}"), Constant(f"b{i}")))
+        body.append(relation_literal("t3", Constant(f"b{i}"), Constant(f"c{i}")))
+    return general, HornClause(head(Constant("k0")), tuple(body))
+
+
+class TestCertificateFires:
+    def test_doomed_cycle_is_refuted_without_burning_the_budget(self):
+        # Small enough budget that the probe stage hits its valve; the sweep
+        # then refutes outright where the plain engine burns to the valve.
+        general, specific = _wide_doomed_cycle(40)
+        checker = kernels_checker(max_steps=100)
+        assert not checker.subsumes(general, specific).subsumes
+        assert checker.stats.certificates == 1
+        # The plain compiled engine reaches the same verdict by searching.
+        plain = plain_compiled_checker(max_steps=100)
+        assert not plain.subsumes(general, specific).subsumes
+        assert plain.stats.certificates == 0
+
+    def test_cheap_doomed_check_resolves_in_the_probe_without_a_sweep(self):
+        # The tiny cycle refutes within the probe allowance, so the kernels
+        # engine never pays for a sweep — same verdict, zero certificates.
+        general, specific = _doomed_triangle()
+        checker = kernels_checker()
+        assert not checker.subsumes(general, specific).subsumes
+        assert checker.stats.certificates == 0
+
+    def test_satisfiable_variant_passes_through_to_the_search(self):
+        general, _ = _doomed_triangle()
+        k3, k4 = Constant("k3"), Constant("k4")
+        specific = HornClause(
+            head(Constant("k0")),
+            (
+                relation_literal("r", Constant("k0"), k3),
+                relation_literal("s", k3, k4),
+                relation_literal("t3", k4, k3),  # the cycle closes
+            ),
+        )
+        checker = kernels_checker()
+        assert checker.subsumes(general, specific).subsumes
+        assert checker.stats.certificates == 0
+
+    def test_stats_reset(self):
+        general, specific = _doomed_triangle()
+        checker = kernels_checker()
+        checker.subsumes(general, specific)
+        assert checker.stats.checks == 1
+        checker.stats.reset()
+        assert (checker.stats.checks, checker.stats.certificates) == (0, 0)
+
+
+class TestBindingMatrix:
+    def test_matrix_shape_and_universe(self):
+        general, _ = _doomed_triangle()
+        k3, k4 = Constant("k3"), Constant("k4")
+        specific = HornClause(
+            head(Constant("k0")),
+            (
+                relation_literal("r", Constant("k0"), k3),
+                relation_literal("s", k3, k4),
+                relation_literal("t3", k4, k3),
+            ),
+        )
+        cg, cs = _compiled_pair(general, specific)
+        result = binding_matrix(cg, cs)
+        assert result is not None
+        matrix, universe = result
+        assert matrix.shape == (cg.nslots, universe.size)
+        assert matrix.dtype == bool
+        # Every slot keeps at least one candidate on a satisfiable pair.
+        assert matrix.any(axis=1).all()
+
+    def test_refuted_pair_has_no_matrix(self):
+        general, specific = _doomed_triangle()
+        cg, cs = _compiled_pair(general, specific)
+        assert binding_matrix(cg, cs) is None
+
+    def test_specific_plane_is_cached_on_the_compiled_form(self):
+        general, specific = _doomed_triangle()
+        _, cs = _compiled_pair(general, specific)
+        assert specific_plane(cs) is specific_plane(cs)
+
+
+def _doomed_retry_pair(width: int) -> tuple[HornClause, HornClause]:
+    """Greedy fails on ``s(y)`` and every backtracking retry is provably doomed.
+
+    The specific clause offers *width* ``r``-rows, none of whose objects
+    appears in the single ``s``-row, so the retry searches (and, with a small
+    budget, exhausts) the whole row block — unless the certificate fires.
+    """
+    general = HornClause(head(X), (relation_literal("r", X, Y), relation_literal("s", Y)))
+    body = [relation_literal("r", Constant("k0"), Constant(f"b{i}")) for i in range(width)]
+    body.append(relation_literal("s", Constant("c")))
+    specific = HornClause(head(Constant("k0")), tuple(body))
+    return general, specific
+
+
+class TestRetainedBudget:
+    """The satellite bugfix: no more unbounded ``CompiledSearch(max_steps=None)``."""
+
+    def test_pathological_pair_terminates_under_budget(self):
+        # Pre-fix, the greedy/connectivity searches of the compiled retained
+        # path ran unbounded regardless of the caller's budget; the chain
+        # pair makes that search combinatorial.  Small budget ⇒ fast return,
+        # identical in both engines (both conservative).
+        general, specific = _symmetric_chain_pair(10)
+        compiled = kernels_checker(max_steps=50).retained_generalization(general, specific)
+        reference = reference_checker(max_steps=50).retained_generalization(general, specific)
+        assert compiled == reference
+
+    def test_greedy_budget_is_charged_identically_across_engines(self):
+        general, specific = _doomed_retry_pair(width=30)
+        for budget in (1, 5, 40, None):
+            assert kernels_checker(max_steps=budget).retained_generalization(
+                general, specific
+            ) == reference_checker(max_steps=budget).retained_generalization(general, specific)
+
+    def test_certificate_short_circuits_budget_exhausted_retries(self):
+        general, specific = _doomed_retry_pair(width=40)
+        plain = plain_compiled_checker(max_steps=25)
+        plain.retained_generalization(general, specific)
+        assert plain.stats.retry_exhausted >= 1  # the doomed retry burnt its budget
+        fast = kernels_checker(max_steps=25)
+        retained = fast.retained_generalization(general, specific)
+        assert fast.stats.certificates >= 1
+        assert fast.stats.retry_exhausted == 0  # refuted before the search started
+        # and the retained list is what the budget-burning engines compute.
+        assert retained == plain_compiled_checker(max_steps=25).retained_generalization(
+            general, specific
+        )

@@ -17,8 +17,8 @@ import sys
 
 import pytest
 
-#: Collected-test floor; the suite held 555 tests when this was last raised.
-MIN_TEST_COUNT = 555
+#: Collected-test floor; the suite held 586 tests when this was last raised.
+MIN_TEST_COUNT = 586
 
 
 class _CollectionCounter:
