@@ -108,6 +108,26 @@ class DLearnConfig:
         as an opt-in experiment rather than a guaranteed speed-up.  The
         clause-level caching of the batched path is always on and independent
         of this knob.
+    parallel_backend:
+        Execution backend of the ``n_jobs`` coverage fan-out:
+
+        * ``"thread"`` (the default) — a :class:`~concurrent.futures.ThreadPoolExecutor`
+          over chunked example lists.  Cheap to start and shares every cache,
+          but Python-level search work contends on the GIL.
+        * ``"process"`` — :mod:`repro.core.fanout`'s process pool over the
+          compiled integer plane.  Workers are seeded once with a read-only
+          snapshot of the session :class:`~repro.logic.compiled.TermInterner`
+          and receive compiled clause forms as flat int tuples; later
+          dispatches ship only interner deltas and example-id work lists, so
+          coverage checks scale with cores instead of contending on the GIL.
+          Verdicts are bit-identical to the serial path (the benchmark and
+          property suites assert it).  Falls back to ``"thread"`` with a
+          warning where worker processes cannot be spawned.
+        * ``"serial"`` — force every check onto the calling thread even when
+          ``n_jobs > 1``; the reference oracle for the other two.
+
+        With ``n_jobs == 1`` the backend is irrelevant: everything runs
+        serially on the calling thread.
     seed:
         Seed for every random choice (sampling of relevant tuples, of
         ``E+_s`` seeds and of training folds), making runs reproducible.
@@ -142,6 +162,7 @@ class DLearnConfig:
     compiled_subsumption: bool = True
     vectorized_kernels: bool = True
     n_jobs: int = 1
+    parallel_backend: str = "thread"
     seed: int = 0
     use_mds: bool = True
     use_cfds: bool = True
@@ -163,6 +184,8 @@ class DLearnConfig:
             raise ValueError("min_clause_precision must be in [0, 1]")
         if self.n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        if self.parallel_backend not in ("serial", "thread", "process"):
+            raise ValueError("parallel_backend must be one of 'serial', 'thread', 'process'")
 
     def but(self, **changes) -> "DLearnConfig":
         """Return a copy with the given fields changed (sweep helper)."""

@@ -51,16 +51,21 @@ interner, so clauses are compiled to the integer plane once per session.
 
 from __future__ import annotations
 
+import pickle
 import threading
+import warnings
+import weakref
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..logic.clauses import HornClause
-from ..logic.compiled import ClauseCompiler
+from ..logic.compiled import ClauseCompiler, general_to_wire, specific_to_wire
 from ..logic.subsumption import PreparedClause, PreparedGeneral, SubsumptionChecker
 from .bottom_clause import BottomClauseBuilder
 from .config import DLearnConfig
+from .fanout import ProcessFanout, checker_params
 from .problem import Example
 from .repair_literals import repaired_clauses
 
@@ -120,6 +125,17 @@ def _has_cfd_repairs(clause: HornClause) -> bool:
     )
 
 
+def _chunk_size(n_examples: int, jobs: int) -> int:
+    """Per-future chunk length of the thread fan-out: ``n / (4 * jobs)``.
+
+    Four chunks per worker keeps the pool balanced when per-example costs
+    are skewed (a straggler chunk idles at most a quarter of one worker's
+    share) while cutting the per-future submission overhead ~chunk-size-fold
+    against the old one-future-per-example dispatch.
+    """
+    return max(1, n_examples // (4 * jobs))
+
+
 class CoverageEngine:
     """Computes example coverage for clauses with repair literals."""
 
@@ -170,6 +186,13 @@ class CoverageEngine:
         #: insert) is not atomic without it.
         self._verdict_lock = threading.Lock()
         self._thread_state = threading.local()
+        #: Process fan-out (``config.parallel_backend == "process"``): either
+        #: attached by the session from the shared
+        #: :class:`~repro.core.session.DatabasePreparation` pool, or created
+        #: lazily (and then owned) on first process-backend batch.
+        self._fanout: ProcessFanout | None = None
+        self._fanout_owned = False
+        self._fanout_failed = False
         # Pure per-clause computations, memoised for the engine's lifetime.
         # ``lru_cache`` is thread-safe, which is what allows ``batch_covers``
         # to fan example checks out across a worker pool.
@@ -291,9 +314,12 @@ class CoverageEngine:
         projection, CFD-variant expansion) is derived a single time and
         reused for every example; ground bottom clauses come from the
         per-example cache.  With ``config.n_jobs > 1`` the per-example checks
-        run on a thread pool — every worker gets its own
-        :class:`SubsumptionChecker` because the step-budget counter is
-        per-instance state.
+        fan out per ``config.parallel_backend``: chunked over a thread pool
+        (every worker thread gets its own :class:`SubsumptionChecker`
+        because the step-budget counter is per-instance state), or shipped
+        to the GIL-free process pool (:mod:`repro.core.fanout`) as compiled
+        integer-plane forms.  ``"serial"`` forces the calling thread — the
+        reference oracle for both.
         """
         examples = list(examples)
         if not examples:
@@ -303,18 +329,97 @@ class CoverageEngine:
         # caches are not thread-safe), but saturation runs as one batch.
         grounds = self.prepared_grounds(examples)
         jobs = self._effective_jobs(len(examples))
-        if jobs <= 1:
+        if jobs <= 1 or self.config.parallel_backend == "serial":
             return [
                 self._covers_ground(self.checker, general, ground, positive=example.positive)
                 for example, ground in zip(examples, grounds)
             ]
+        if self.config.parallel_backend == "process":
+            return self._process_batch(general, examples, grounds)
+        return self._thread_batch(general, examples, grounds, jobs)
 
-        def verdict(pair: tuple[Example, PreparedClause]) -> bool:
-            example, ground = pair
-            return self._covers_ground(self._thread_checker(), general, ground, positive=example.positive)
+    def _thread_batch(
+        self,
+        general: PreparedGeneral,
+        examples: Sequence[Example],
+        grounds: Sequence[PreparedClause],
+        jobs: int,
+    ) -> list[bool]:
+        """Chunked thread fan-out: ~4 chunks per worker instead of per-example futures."""
+        pairs = list(zip(examples, grounds))
+        size = _chunk_size(len(pairs), jobs)
+        chunks = [pairs[start : start + size] for start in range(0, len(pairs), size)]
+
+        def run_chunk(chunk: list[tuple[Example, PreparedClause]]) -> list[bool]:
+            checker = self._thread_checker()
+            return [
+                self._covers_ground(checker, general, ground, positive=example.positive)
+                for example, ground in chunk
+            ]
 
         with ThreadPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(verdict, zip(examples, grounds)))
+            return [verdict for part in pool.map(run_chunk, chunks) for verdict in part]
+
+    def _process_batch(
+        self,
+        general: PreparedGeneral,
+        examples: Sequence[Example],
+        grounds: Sequence[PreparedClause],
+    ) -> list[bool]:
+        """Process-pool fan-out, verdict-cache aware.
+
+        Settled pairs are served from the session verdict cache without
+        touching the pool; in-batch duplicates (examples sharing a ground
+        clause and label) are proved once.  Returned verdicts merge into the
+        cache under the verdict lock, exactly like thread-worker inserts.
+        """
+        fanout = self._ensure_fanout()
+        if fanout is None:
+            return self._thread_batch(general, examples, grounds, self._effective_jobs(len(examples)))
+        results: list[bool] = [False] * len(examples)
+        slots: dict[tuple[HornClause, HornClause, bool], list[int]] = {}
+        pending: list[tuple[PreparedClause, bool, tuple[HornClause, HornClause, bool]]] = []
+        for index, (example, ground) in enumerate(zip(examples, grounds)):
+            key = (general.clause, ground.clause, example.positive)
+            cached = self._verdict_cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                continue
+            seen = slots.get(key)
+            if seen is None:
+                slots[key] = [index]
+                pending.append((ground, example.positive, key))
+            else:
+                seen.append(index)
+        if not pending:
+            return results
+        try:
+            verdicts = fanout.dispatch(
+                [(general, ground, positive) for ground, positive, _ in pending],
+                self._fanout_general_bundle,
+                self._fanout_ground_bundle,
+            )
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as error:
+            warnings.warn(
+                f"process fan-out failed ({error!r}); falling back to the thread backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with self._verdict_lock:
+                self._fanout = None
+                self._fanout_failed = True
+            if self._fanout_owned:
+                fanout.close()
+            return self._thread_batch(general, examples, grounds, self._effective_jobs(len(examples)))
+        with self._verdict_lock:
+            for (_, _, key), verdict in zip(pending, verdicts):
+                if len(self._verdict_cache) >= _VERDICT_CACHE_SIZE:
+                    self._verdict_cache.clear()
+                self._verdict_cache[key] = verdict
+        for (_, _, key), verdict in zip(pending, verdicts):
+            for index in slots[key]:
+                results[index] = verdict
+        return results
 
     def covered_counts(
         self,
@@ -356,10 +461,22 @@ class CoverageEngine:
                 self._covers_ground(checker, clause, ground, positive=True) for clause in prepared_clauses
             )
 
-        if jobs <= 1:
+        if jobs <= 1 or self.config.parallel_backend == "serial":
             return [classify(self.checker, ground) for ground in grounds]
+        # Chunked thread dispatch for both remaining backends: the
+        # per-definition ``any`` short-circuits across clauses, which the
+        # per-pair process protocol cannot express without proving every
+        # (clause, example) pair — the verdict cache still lets a prior
+        # process-backend ``batch_covers`` feed these checks.
+        size = _chunk_size(len(grounds), jobs)
+        chunks = [grounds[start : start + size] for start in range(0, len(grounds), size)]
+
+        def run_chunk(chunk: Sequence[PreparedClause]) -> list[bool]:
+            checker = self._thread_checker()
+            return [classify(checker, ground) for ground in chunk]
+
         with ThreadPoolExecutor(max_workers=jobs) as pool:
-            return list(pool.map(lambda ground: classify(self._thread_checker(), ground), grounds))
+            return [flag for part in pool.map(run_chunk, chunks) for flag in part]
 
     # ------------------------------------------------------------------ #
     # serial reference path (pre-batching behaviour)
@@ -479,6 +596,89 @@ class CoverageEngine:
 
     def _effective_jobs(self, n_examples: int) -> int:
         return max(1, min(self.config.n_jobs, n_examples))
+
+    # ------------------------------------------------------------------ #
+    # process fan-out plumbing
+    # ------------------------------------------------------------------ #
+    def attach_fanout(self, fanout: ProcessFanout) -> None:
+        """Use a shared (preparation-owned) process fan-out instead of creating one.
+
+        The fan-out must have been built over this engine's compiler interner
+        (:meth:`repro.core.session.DatabasePreparation.process_fanout`
+        guarantees it); its lifecycle stays with the owner — the engine never
+        closes an attached pool.
+        """
+        with self._verdict_lock:
+            self._fanout = fanout
+            self._fanout_owned = False
+            self._fanout_failed = False
+
+    def _ensure_fanout(self) -> ProcessFanout | None:
+        """The engine's process fan-out, created on first use; ``None`` after failure."""
+        if self._fanout is not None:
+            return self._fanout
+        if self._fanout_failed:
+            return None
+        try:
+            fanout = ProcessFanout(
+                self.compiler.terms, checker_params(self.checker), self.config.n_jobs
+            )
+        except (OSError, PermissionError, ValueError) as error:
+            warnings.warn(
+                f"process fan-out unavailable ({error!r}); falling back to the thread backend",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            with self._verdict_lock:
+                self._fanout_failed = True
+            return None
+        with self._verdict_lock:
+            self._fanout = fanout
+            self._fanout_owned = True
+        # Engine-owned pools die with the engine; attached pools belong to
+        # the preparation that built them.
+        weakref.finalize(self, fanout.close)
+        return fanout
+
+    def close(self) -> None:
+        """Shut down the engine-owned process fan-out (attached pools stay up)."""
+        with self._verdict_lock:
+            fanout, owned = self._fanout, self._fanout_owned
+            self._fanout = None
+            self._fanout_owned = False
+        if fanout is not None and owned:
+            fanout.close()
+
+    def _fanout_general_bundle(self, general: PreparedGeneral) -> tuple:
+        """Wire bundle of a candidate clause: main + (for CFD clauses) MD/variant forms.
+
+        ``None`` entries mean "use the main form" — exact for CFD-free
+        clauses, where the MD projection and the CFD expansion are
+        identities (see :data:`repro.core.fanout.Bundle`).
+        """
+        clause = general.clause
+        main = general_to_wire(self.compiler.compiled_general_for(general))
+        if not _has_cfd_repairs(clause):
+            return (main, None, None, False)
+        md = self.compiler.compiled_general_for(self._prepare_general(self._md_projection_of(clause)))
+        variants = tuple(
+            general_to_wire(self.compiler.compiled_general_for(self._prepare_general(v)))
+            for v in self._cfd_variants_of(clause)
+        )
+        return (main, general_to_wire(md), variants, True)
+
+    def _fanout_ground_bundle(self, ground: PreparedClause) -> tuple:
+        """Wire bundle of a prepared ground bottom clause (see the general twin)."""
+        clause = ground.clause
+        main = specific_to_wire(self.compiler.compiled_specific_for(ground))
+        if not _has_cfd_repairs(clause):
+            return (main, None, None, False)
+        md = self.compiler.compiled_specific_for(self._prepare_specific(self._md_projection_of(clause)))
+        variants = tuple(
+            specific_to_wire(self.compiler.compiled_specific_for(self._prepare_specific(v)))
+            for v in self._cfd_variants_of(clause)
+        )
+        return (main, specific_to_wire(md), variants, True)
 
     def _thread_checker(self) -> SubsumptionChecker:
         """Per-thread checker clone for pool workers.

@@ -1,0 +1,331 @@
+"""GIL-free process-pool fan-out over the compiled integer plane.
+
+The ``n_jobs`` thread fan-out of :meth:`repro.core.coverage.CoverageEngine.batch_covers`
+contends on the GIL: θ-subsumption search is pure Python bytecode, so worker
+threads serialise on the interpreter and four threads buy roughly nothing.
+Compiled clause forms, however, are flat ints/tuples by design
+(:mod:`repro.logic.compiled`) — exactly the cheap-to-ship shape that lets
+the work leave the process:
+
+* each worker process is seeded **once** with the subsumption-checker
+  parameters and a read-only snapshot of the session
+  :class:`~repro.logic.compiled.TermInterner`'s *is-var* flag plane
+  (:class:`~repro.logic.compiled.InternerView` — verdicts never need the
+  boxed terms, only the flags);
+* a dispatched clause form crosses the process boundary exactly once, as a
+  wire tuple (:func:`~repro.logic.compiled.general_to_wire` /
+  :func:`~repro.logic.compiled.specific_to_wire`), and is registered in the
+  worker under a small integer handle; later dispatches ship only handles;
+* the interner is append-only, so each dispatch carries at most a
+  *delta* — the flag suffix between the worker's watermark and the parent's
+  current one (:meth:`~repro.logic.compiled.TermInterner.snapshot_flags`);
+* verdicts flow back as ``(work index, bool)`` pairs and merge into the
+  engine's session verdict cache.
+
+Topology: ``n_jobs`` **single-worker** executors instead of one shared
+``max_workers=n`` pool.  A single-worker executor is a FIFO queue, which
+gives the one ordering guarantee the protocol needs for free — a task that
+registers a handle runs before any task that references it — and makes
+worker-local state (the handle registries, the interner view watermark)
+deterministic.  Ground clauses are routed to a fixed worker on first sight
+(round-robin), so each example's (large) prepared form is shipped and held
+exactly once across the pool; candidate generals are shipped on demand to
+the workers whose grounds they meet.
+
+Verdict parity: a worker proves the same staged search the parent engine
+proves (:meth:`~repro.logic.subsumption.SubsumptionChecker.subsumes_pair`
+runs the probe valve, certificate sweep, pruned retry and connectivity
+retry of ``subsumes``), and the coverage pipeline over the shipped bundles
+(:func:`_bundle_verdict`) mirrors ``CoverageEngine._prove_ground`` branch
+for branch — so verdicts, and everything downstream of them (retained
+lists, learned definitions, predictions), are bit-identical to the serial
+path.  ``benchmarks/bench_parallel_fanout.py`` and the property suites
+assert this.
+
+Start method: ``fork`` where the platform offers it (no re-import cost,
+instant spawn), else ``spawn``; override with the
+``REPRO_FANOUT_START_METHOD`` environment variable (``fork`` /
+``forkserver`` / ``spawn``).  Workers hold no parent locks — the seeded
+view is rebuilt from plain bytes — so forking a session mid-fit is safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Callable, Sequence, TYPE_CHECKING
+
+from ..logic.compiled import (
+    InternerView,
+    TermInterner,
+    general_from_wire,
+    specific_from_wire,
+)
+from ..logic.subsumption import SubsumptionChecker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..logic.subsumption import PreparedClause, PreparedGeneral
+
+__all__ = ["ProcessFanout", "checker_params"]
+
+#: Environment override for the multiprocessing start method.
+_START_METHOD_ENV = "REPRO_FANOUT_START_METHOD"
+
+#: A shipped coverage bundle: ``(main, md, variants, has_cfd)`` where the
+#: entries are wire forms.  ``md is None`` means the MD projection *is* the
+#: main clause and ``variants is None`` means the CFD expansion is
+#: ``(main,)`` — both exact for clauses without CFD repair literals
+#: (``_md_projection`` and ``repaired_clauses`` are identities there), so
+#: CFD-free clauses ship one wire form instead of three.
+Bundle = tuple
+
+
+def checker_params(checker: SubsumptionChecker) -> dict[str, Any]:
+    """The picklable constructor kwargs a worker needs to clone *checker*.
+
+    Only the verdict-relevant knobs travel; the compiler is deliberately
+    absent (workers receive compiled forms, never clauses) and
+    ``use_compiled`` is forced — the process backend *is* the compiled
+    engine, there is no boxed-term path on the far side.
+    """
+    return {
+        "respect_repair_connectivity": checker.respect_repair_connectivity,
+        "condition_subset": checker.condition_subset,
+        "max_steps": checker.max_steps,
+        "use_compiled": True,
+        "vectorized_kernels": checker.vectorized_kernels,
+    }
+
+
+def _start_method() -> str:
+    override = os.environ.get(_START_METHOD_ENV)
+    if override:
+        return override
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+# Module-level state, seeded once per worker process by the executor
+# initializer.  Everything submitted to the pool is a module-level function
+# over this state — no closures, no captured locks or handles (arch-lint
+# rule PF01 enforces this shape).
+
+_STATE: dict[str, Any] = {}
+
+
+def _seed_worker(params: dict[str, Any], snapshot: tuple[int, int, bytes]) -> None:
+    """Executor initializer: build the worker's checker and interner view."""
+    view = InternerView()
+    view.extend(*snapshot)
+    _STATE["terms"] = view
+    _STATE["checker"] = SubsumptionChecker(**params)
+    _STATE["generals"] = {}
+    _STATE["grounds"] = {}
+
+
+def _decode_general(bundle: Bundle, terms: TermInterner) -> tuple:
+    main, md, variants, has_cfd = bundle
+    return (
+        general_from_wire(main, terms),
+        general_from_wire(md, terms) if md is not None else None,
+        tuple(general_from_wire(v, terms) for v in variants) if variants is not None else None,
+        has_cfd,
+    )
+
+
+def _decode_specific(bundle: Bundle, terms: TermInterner) -> tuple:
+    main, md, variants, has_cfd = bundle
+    return (
+        specific_from_wire(main, terms),
+        specific_from_wire(md, terms) if md is not None else None,
+        tuple(specific_from_wire(v, terms) for v in variants) if variants is not None else None,
+        has_cfd,
+    )
+
+
+def _bundle_verdict(checker: SubsumptionChecker, general: tuple, ground: tuple, positive: bool) -> bool:
+    """The Section 4.3 coverage pipeline over decoded bundles.
+
+    Mirrors ``CoverageEngine._prove_ground`` exactly — direct subsumption,
+    the both-sides-CFD-free early False, the positive-only MD-projection
+    check, then the all/any CFD-variant quantifier — with every subsumption
+    through the same staged compiled search the parent runs.
+    """
+    g_main, g_md, g_variants, g_cfd = general
+    s_main, s_md, s_variants, s_cfd = ground
+    if checker.subsumes_pair(g_main, s_main):
+        return True
+    if not g_cfd and not s_cfd:
+        return False
+    if positive and not checker.subsumes_pair(
+        g_md if g_md is not None else g_main,
+        s_md if s_md is not None else s_main,
+    ):
+        return False
+    clause_variants = g_variants if g_variants is not None else (g_main,)
+    ground_variants = s_variants if s_variants is not None else (s_main,)
+    quantifier = all if positive else any
+    return quantifier(
+        any(checker.subsumes_pair(cv, gv) for gv in ground_variants) for cv in clause_variants
+    )
+
+
+def _run_chunk(task: tuple) -> list[tuple[int, bool]]:
+    """One dispatched work chunk: apply the delta, register bundles, prove pairs."""
+    delta, generals, grounds, work = task
+    terms: InternerView = _STATE["terms"]
+    if delta is not None:
+        terms.extend(*delta)
+    general_registry: dict[int, tuple] = _STATE["generals"]
+    ground_registry: dict[int, tuple] = _STATE["grounds"]
+    for handle, bundle in generals:
+        general_registry[handle] = _decode_general(bundle, terms)
+    for handle, bundle in grounds:
+        ground_registry[handle] = _decode_specific(bundle, terms)
+    checker: SubsumptionChecker = _STATE["checker"]
+    return [
+        (idx, _bundle_verdict(checker, general_registry[gh], ground_registry[sh], positive))
+        for idx, gh, sh, positive in work
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------------- #
+class ProcessFanout:
+    """A pool of seeded worker processes proving coverage pairs.
+
+    Owns ``n_jobs`` single-worker executors plus the parent-side shipping
+    state: clause → handle maps, per-worker shipped-handle sets and interner
+    watermarks, and the ground → worker routing table.  Not thread-safe —
+    one dispatch at a time, from the thread driving the batch (the engine's
+    batched entry points already run on the calling thread).
+
+    The pool is cheap to create (worker processes spawn lazily on first
+    dispatch) and safe to share across engines and sessions that compile
+    through the same :class:`~repro.logic.compiled.ClauseCompiler`
+    (:meth:`repro.core.session.DatabasePreparation.process_fanout` memoises
+    exactly that sharing).
+    """
+
+    def __init__(
+        self,
+        interner: TermInterner,
+        params: dict[str, Any],
+        n_jobs: int,
+        *,
+        start_method: str | None = None,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        context = multiprocessing.get_context(start_method or _start_method())
+        self.n_jobs = n_jobs
+        self._interner = interner
+        snapshot = interner.snapshot_flags(0)
+        self._workers = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_seed_worker,
+                initargs=(dict(params), snapshot),
+            )
+            for _ in range(n_jobs)
+        ]
+        self._watermarks = [snapshot[1]] * n_jobs
+        self._shipped_generals: list[set[int]] = [set() for _ in range(n_jobs)]
+        self._shipped_grounds: list[set[int]] = [set() for _ in range(n_jobs)]
+        self._general_ids: dict[object, int] = {}
+        self._ground_ids: dict[object, int] = {}
+        #: Handle → wire bundle for generals only: a general may meet new
+        #: grounds routed to workers it has not visited yet.  Ground bundles
+        #: are shipped to their routed worker immediately and never kept.
+        self._general_wires: dict[int, Bundle] = {}
+        #: Ground handle → worker index, fixed at first sight (round-robin).
+        self._route: dict[int, int] = {}
+        self._next_worker = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def dispatch(
+        self,
+        pairs: Sequence[tuple],
+        build_general: "Callable[[PreparedGeneral], Bundle]",
+        build_ground: "Callable[[PreparedClause], Bundle]",
+    ) -> list[bool]:
+        """Prove every ``(prepared general, prepared ground, positive)`` pair.
+
+        Bundle builders run in the parent and may intern new terms (they
+        compile MD projections and CFD variants on first sight); the
+        interner deltas are therefore snapshotted strictly *after* all
+        building, so every id a shipped wire form references is covered by
+        the worker's view before the work runs — the single-worker FIFO
+        guarantees registration precedes use within the task itself.
+        """
+        if self._closed:
+            raise RuntimeError("ProcessFanout is closed")
+        n_jobs = self.n_jobs
+        tasks: list[tuple[list, list, list]] = [([], [], []) for _ in range(n_jobs)]
+        for idx, (general, ground, positive) in enumerate(pairs):
+            gh = self._general_ids.get(general.clause)
+            if gh is None:
+                gh = len(self._general_ids)
+                self._general_ids[general.clause] = gh
+                self._general_wires[gh] = build_general(general)
+            sh = self._ground_ids.get(ground.clause)
+            ground_wire: Bundle | None = None
+            if sh is None:
+                sh = len(self._ground_ids)
+                self._ground_ids[ground.clause] = sh
+                ground_wire = build_ground(ground)
+            worker = self._route.get(sh)
+            if worker is None:
+                worker = self._next_worker % n_jobs
+                self._next_worker += 1
+                self._route[sh] = worker
+            generals, grounds, work = tasks[worker]
+            if gh not in self._shipped_generals[worker]:
+                self._shipped_generals[worker].add(gh)
+                generals.append((gh, self._general_wires[gh]))
+            if sh not in self._shipped_grounds[worker]:
+                self._shipped_grounds[worker].add(sh)
+                grounds.append((sh, ground_wire if ground_wire is not None else build_ground(ground)))
+            work.append((idx, gh, sh, positive))
+
+        futures: list[Future] = []
+        for worker, (generals, grounds, work) in enumerate(tasks):
+            if not work:
+                continue
+            start, mark, flags = self._interner.snapshot_flags(self._watermarks[worker])
+            delta = (start, mark, flags) if mark > start else None
+            self._watermarks[worker] = mark
+            futures.append(
+                self._workers[worker].submit(
+                    _run_chunk, (delta, tuple(generals), tuple(grounds), tuple(work))
+                )
+            )
+        verdicts = [False] * len(pairs)
+        for future in futures:
+            for idx, verdict in future.result():
+                verdicts[idx] = verdict
+        return verdicts
+
+    def warm(self) -> None:
+        """Spawn and seed every worker now (benchmarks time dispatch, not forking)."""
+        empty = (None, (), (), ())
+        for future in [worker.submit(_run_chunk, empty) for worker in self._workers]:
+            future.result()
+
+    def close(self) -> None:
+        """Shut the worker processes down; the fan-out is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"ProcessFanout({self.n_jobs} workers, {state})"

@@ -46,6 +46,7 @@ from ..similarity.qgrams import QGramBlocker
 from .bottom_clause import BottomClauseBuilder, ClauseAssembler
 from .config import DLearnConfig
 from .coverage import CoverageEngine
+from .fanout import ProcessFanout, checker_params
 from .generalization import Generalizer
 from .problem import Example, ExampleSet, LearningProblem
 from .saturation import DatabaseProbeCache, FrontierChase, SaturationCache
@@ -232,10 +233,37 @@ class DatabasePreparation:
         #: through the preparation as well.
         self.compiler = ClauseCompiler()
         self._md_caches: dict[str, _MdIndexCache] = {}
+        self._fanouts: dict[tuple, ProcessFanout] = {}
 
     @classmethod
     def from_problem(cls, problem: LearningProblem) -> "DatabasePreparation":
         return cls(problem.database, problem.target, problem.similarity_operator)
+
+    # ------------------------------------------------------------------ #
+    def process_fanout(self, checker: SubsumptionChecker, n_jobs: int) -> ProcessFanout:
+        """The shared process fan-out pool for sessions over this database.
+
+        Memoised per (worker count, checker parameters): every session over
+        one preparation compiles through the same
+        :class:`~repro.logic.compiled.ClauseCompiler`, so their compiled
+        forms reference one interner and can share one seeded worker pool —
+        folds and prediction sessions reuse already-shipped clause forms
+        instead of re-seeding processes per session.  Worker processes spawn
+        lazily on first dispatch, so an unused pool costs nothing.
+        """
+        params = checker_params(checker)
+        key = (n_jobs, tuple(sorted(params.items(), key=lambda item: item[0])))
+        fanout = self._fanouts.get(key)
+        if fanout is None or fanout._closed:
+            fanout = ProcessFanout(self.compiler.terms, params, n_jobs)
+            self._fanouts[key] = fanout
+        return fanout
+
+    def close(self) -> None:
+        """Shut down every process fan-out pool this preparation owns."""
+        for fanout in self._fanouts.values():
+            fanout.close()
+        self._fanouts.clear()
 
     # ------------------------------------------------------------------ #
     def similarity_indexes_for(
@@ -338,6 +366,17 @@ class LearningSession:
                 vectorized_kernels=config.vectorized_kernels,
             ),
         )
+        if config.parallel_backend == "process" and config.n_jobs > 1:
+            # Share one seeded worker pool across every session over this
+            # preparation (folds, prediction); pool creation is lazy-spawning
+            # and cheap.  Where worker processes cannot be created at all the
+            # engine falls back to the thread backend on first dispatch.
+            try:
+                self.engine.attach_fanout(
+                    self.preparation.process_fanout(self.engine.checker, config.n_jobs)
+                )
+            except (OSError, PermissionError, ValueError):
+                pass  # the engine's own _ensure_fanout will warn and fall back
         self.generalizer = Generalizer(self.engine, config, Sampler(config.seed))
         self._serial_saturation = serial_saturation
         self._evaluation_sessions: dict[frozenset, "LearningSession"] = {}

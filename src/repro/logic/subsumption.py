@@ -41,7 +41,7 @@ from typing import Sequence
 
 from .atoms import Comparison, ComparisonOp, Condition, Literal, LiteralKind
 from .clauses import HornClause
-from .compiled import BudgetExceeded, ClauseCompiler, CompiledSearch
+from .compiled import BudgetExceeded, ClauseCompiler, CompiledGeneral, CompiledSearch, CompiledSpecific
 from .kernels import HAS_NUMPY, prune, refutes
 from .substitution import Substitution
 from .terms import Constant, Term, Variable, is_constant, is_variable
@@ -360,6 +360,26 @@ class SubsumptionChecker:
         compiler = self._compiler()
         cg = compiler.compiled_general_for(prepared_general)
         cs = compiler.compiled_specific_for(prepared)
+        search = self._run_compiled(cg, cs)
+        if search is None:
+            return SubsumptionResult(False)
+        return SubsumptionResult(True, search.witness_theta(), search.witness_mapped())
+
+    def subsumes_pair(self, cg: CompiledGeneral, cs: CompiledSpecific) -> bool:
+        """Verdict-only subsumption over already-compiled forms.
+
+        The process fan-out's entry point: a worker holds wire-reconstructed
+        compiled forms over an :class:`~repro.logic.compiled.InternerView`
+        (no boxed terms), so witness decoding is impossible there — but the
+        verdict needs only the integer plane.  Runs the exact staged search
+        :meth:`subsumes` runs (probe valve, certificate sweep, pruned retry,
+        connectivity retry), so budget-exhaustion points — and with them
+        every verdict — match the parent engine bit-for-bit.
+        """
+        return self._run_compiled(cg, cs) is not None
+
+    def _run_compiled(self, cg: CompiledGeneral, cs: CompiledSpecific) -> CompiledSearch | None:
+        """Staged compiled search to a verdict; the successful search or ``None``."""
         self._steps = 0
         self.stats.checks += 1
         budget = self.max_steps
@@ -368,7 +388,7 @@ class SubsumptionChecker:
                 cg, cs, condition_subset=self.condition_subset, max_steps=budget
             )
             if not search.seed_head():
-                return SubsumptionResult(False)
+                return None
             if self.vectorized_kernels and refutes(
                 cg,
                 cs,
@@ -382,11 +402,11 @@ class SubsumptionChecker:
                 # certificate proved no witness extends the head seed; the
                 # search would necessarily have returned False.
                 self.stats.certificates += 1
-                return SubsumptionResult(False)
+                return None
             try:
-                return self._compiled_verdict(cg, cs, search)
+                return self._verdict_search(cg, cs, search)
             except BudgetExceeded:
-                return SubsumptionResult(False)
+                return None
         # Probe-first two-stage check, mirroring :meth:`_compiled_retry`:
         # the overwhelming majority of checks resolve within the probe's
         # allowance at zero kernel overhead; only a check that hits the
@@ -401,9 +421,9 @@ class SubsumptionChecker:
             max_steps=min(budget, max(_RETRY_PROBE_STEPS, budget // 4)),
         )
         if not probe.seed_head():
-            return SubsumptionResult(False)
+            return None
         try:
-            return self._compiled_verdict(cg, cs, probe)
+            return self._verdict_search(cg, cs, probe)
         except BudgetExceeded:
             pass
         retry = CompiledSearch(
@@ -415,16 +435,16 @@ class SubsumptionChecker:
         )
         if allowed is None:
             self.stats.certificates += 1
-            return SubsumptionResult(False)
+            return None
         retry.allowed_rows = allowed or None
         try:
-            return self._compiled_verdict(cg, cs, retry)
+            return self._verdict_search(cg, cs, retry)
         except BudgetExceeded:
-            return SubsumptionResult(False)
+            return None
 
-    def _compiled_verdict(
-        self, cg, cs, search: CompiledSearch
-    ) -> SubsumptionResult:
+    def _verdict_search(
+        self, cg: CompiledGeneral, cs: CompiledSpecific, search: CompiledSearch
+    ) -> CompiledSearch | None:
         """Run *search* to a verdict, retrying for repair connectivity.
 
         Raises :class:`BudgetExceeded` from the initial search — the caller
@@ -454,12 +474,10 @@ class SubsumptionChecker:
             try:
                 found = retry.run_with_connectivity()
             except BudgetExceeded:
-                return SubsumptionResult(False)
+                return None
             search = retry
         self._steps = search.steps
-        if not found:
-            return SubsumptionResult(False)
-        return SubsumptionResult(True, search.witness_theta(), search.witness_mapped())
+        return search if found else None
 
     def _subsumes_reference(
         self, prepared_general: "PreparedGeneral", prepared: "PreparedClause"

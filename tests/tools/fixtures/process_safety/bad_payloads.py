@@ -1,0 +1,40 @@
+"""PF01 fixture: every process-pool submission here carries a non-picklable payload."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def prove(task):
+    return task
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pools = [ProcessPoolExecutor(max_workers=1) for _ in range(2)]
+
+    def lambda_callable(self):
+        pool = ProcessPoolExecutor(max_workers=1)
+        return pool.submit(lambda: 1)  # lambda callable
+
+    def nested_callable(self):
+        def chunk(task):
+            return task
+
+        return self._pools[0].submit(chunk, 1)  # nested function
+
+    def lock_argument(self):
+        return self._pools[1].submit(prove, self._lock)  # captured lock
+
+    def handle_argument(self):
+        handle = open("data.txt")
+        for pool in self._pools:
+            pool.submit(prove, handle)  # open handle via binding
+        return None
+
+    def inline_handle(self):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(prove, open("data.txt"))  # inline open()
+
+    def lambda_initializer(self):
+        return ProcessPoolExecutor(max_workers=1, initializer=lambda: None)

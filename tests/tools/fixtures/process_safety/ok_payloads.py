@@ -1,0 +1,45 @@
+"""PF01 fixture: the sanctioned shapes — module-level callables, plain data.
+
+Thread pools stay exempt even with closures and locks: nothing is pickled
+on a thread submission.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+_STATE: dict = {}
+
+
+def seed(params, snapshot):
+    _STATE["params"] = (params, snapshot)
+
+
+def prove(task):
+    return task
+
+
+class Engine:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1, initializer=seed, initargs=({}, b""))
+            for _ in range(2)
+        ]
+        self._threads = ThreadPoolExecutor(max_workers=2)
+
+    def plain_dispatch(self, chunks):
+        futures = [self._pools[0].submit(prove, tuple(chunk)) for chunk in chunks]
+        return [future.result() for future in futures]
+
+    def mapped(self, chunks):
+        return list(self._pools[1].map(prove, chunks))
+
+    def threads_may_close_over_anything(self, chunks):
+        def run(chunk):
+            with self._lock:
+                return prove(chunk)
+
+        return list(self._threads.map(run, chunks))
+
+    def threads_may_take_lambdas(self):
+        return self._threads.submit(lambda: prove(1))

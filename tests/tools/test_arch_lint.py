@@ -52,7 +52,7 @@ def lint_fixture(relative: str, rule_id: str, options: dict | None = None):
 
 class TestRuleRegistry:
     def test_all_rules_registered(self):
-        assert set(all_rules()) == {"ID01", "ID02", "DT01", "TS01", "CH01", "CH02"}
+        assert set(all_rules()) == {"ID01", "ID02", "DT01", "TS01", "PF01", "CH01", "CH02"}
 
     def test_checked_in_config_covers_every_rule(self):
         config = load_config()
@@ -127,6 +127,27 @@ class TestThreadSafetyRule:
     def test_ts01_ignores_unconfigured_classes(self):
         options = dict(self.OPTIONS, classes=["SomethingElse"])
         assert not lint_fixture("thread_safety/bad_unguarded.py", "TS01", options).violations
+
+
+class TestProcessSafetyRule:
+    def test_pf01_flags_every_bad_payload(self):
+        result = lint_fixture("process_safety/bad_payloads.py", "PF01")
+        assert len(result.violations) == 6
+        messages = " ".join(v.message for v in result.violations)
+        assert "nested function 'chunk'" in messages
+        assert "self._lock" in messages
+        assert "'handle'" in messages
+        assert "open(...)" in messages
+        assert "initializer" in messages
+
+    def test_pf01_passes_module_level_callables_and_plain_data(self):
+        assert not lint_fixture("process_safety/ok_payloads.py", "PF01").violations
+
+    def test_pf01_only_tracks_configured_factories(self):
+        quiet = lint_fixture(
+            "process_safety/bad_payloads.py", "PF01", {"executor_factories": ["SomethingElse"]}
+        )
+        assert not quiet.violations
 
 
 class TestCacheHygieneRules:
@@ -244,7 +265,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("ID01", "ID02", "DT01", "TS01", "CH01", "CH02"):
+        for rule_id in ("ID01", "ID02", "DT01", "TS01", "PF01", "CH01", "CH02"):
             assert rule_id in out
 
     def test_unknown_rule_is_a_usage_error(self, capsys):

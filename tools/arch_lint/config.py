@@ -110,6 +110,10 @@ _DEFAULT_RULES: dict[str, dict[str, Any]] = {
         "init_methods": ["__init__", "__post_init__"],
         "allow": {},
     }},
+    "PF01": {"paths": ["src/*", "tools/*", "benchmarks/*"], "options": {
+        "executor_factories": ["ProcessPoolExecutor"],
+        "lock_names": ["_lock", "_verdict_lock", "_cache_lock", "lock"],
+    }},
     "CH01": {"paths": ["src/*", "tools/*", "tests/*", "benchmarks/*", "examples/*"]},
     "CH02": {"paths": ["src/repro/core/*", "src/repro/logic/*", "src/repro/similarity/*", "src/repro/db/*"], "options": {
         "cache_name_pattern": "cache",

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import subprocess
 import sys
 
@@ -36,7 +37,22 @@ BENCHMARKS: dict[str, str] = {
     "storage": "benchmarks/bench_storage_intern.py",
     "subsumption": "benchmarks/bench_subsumption_compiled.py",
     "kernels": "benchmarks/bench_binding_matrix.py",
+    "parallel": "benchmarks/bench_parallel_fanout.py",
 }
+
+
+def _host_metadata() -> dict:
+    """Host facts stamped into every record — timings are host-relative."""
+    try:
+        effective = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - macOS / Windows
+        effective = os.cpu_count() or 1
+    return {
+        "cpu_count": os.cpu_count(),
+        "effective_cpus": effective,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def record_path(name: str) -> str:
@@ -111,6 +127,17 @@ def run_benchmark(name: str, script: str) -> int:
         cwd=REPO_ROOT,
         env=env,
     )
+    full_path = os.path.join(REPO_ROOT, path)
+    if os.path.exists(full_path):
+        # Stamp host metadata into every record: a committed timing is only
+        # reviewable next to the cpu/platform it was measured on.  Fields a
+        # benchmark already recorded itself (jobs, start_method) win.
+        with open(full_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["host"] = {**_host_metadata(), **payload.get("host", {})}
+        with open(full_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return completed.returncode
 
 
