@@ -128,6 +128,21 @@ class DLearnConfig:
 
         With ``n_jobs == 1`` the backend is irrelevant: everything runs
         serially on the calling thread.
+    shard_count:
+        Number of row-wise shards the database instance is partitioned into
+        for the saturation chase (:mod:`repro.db.sharding`).  ``1`` — the
+        default — keeps the chase on the unsharded instance.  Above 1, each
+        depth of the batched chase scatters its id-frontier over the shards
+        and gathers the per-shard probe answers; with
+        ``parallel_backend="process"`` the shards live in seeded worker
+        processes (:class:`repro.core.fanout.SaturationFanout`) so the
+        per-depth index probes run GIL-free, while the serial/thread
+        backends probe the same shards in-process
+        (:class:`repro.core.fanout.SerialShardScatter` — the identity
+        oracle).  Results are bit-identical to the unsharded chase either
+        way; only the cost profile differs.  Requires interned storage;
+        sessions over identity-interner instances warn and fall back to
+        the unsharded chase.
     seed:
         Seed for every random choice (sampling of relevant tuples, of
         ``E+_s`` seeds and of training folds), making runs reproducible.
@@ -163,6 +178,7 @@ class DLearnConfig:
     vectorized_kernels: bool = True
     n_jobs: int = 1
     parallel_backend: str = "thread"
+    shard_count: int = 1
     seed: int = 0
     use_mds: bool = True
     use_cfds: bool = True
@@ -186,6 +202,8 @@ class DLearnConfig:
             raise ValueError("n_jobs must be >= 1")
         if self.parallel_backend not in ("serial", "thread", "process"):
             raise ValueError("parallel_backend must be one of 'serial', 'thread', 'process'")
+        if self.shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
 
     def but(self, **changes) -> "DLearnConfig":
         """Return a copy with the given fields changed (sweep helper)."""

@@ -47,6 +47,18 @@ instant spawn), else ``spawn``; override with the
 ``REPRO_FANOUT_START_METHOD`` environment variable (``fork`` /
 ``forkserver`` / ``spawn``).  Workers hold no parent locks — the seeded
 view is rebuilt from plain bytes — so forking a session mid-fit is safe.
+
+This module also hosts the **saturation scatter/gather**
+(:class:`SaturationFanout`): the same seeded-worker topology pointed at the
+chase instead of coverage.  Each worker owns one row-wise shard of every
+relation (:mod:`repro.db.sharding`) and answers the per-depth id-frontier
+probes of :meth:`repro.core.saturation.FrontierChase.relevant_many` locally
+against its shard's insert-time indexes; the parent merges the disjoint
+per-shard answers into exactly the probe tables the unsharded prefetch
+builds, so everything downstream — dedup on canonical rows, state updates,
+learned definitions — is bit-identical to the serial chase.  Shards cross
+the boundary once as byte wire forms; later dispatches carry interner flag
+deltas, row-append deltas, and the frontier.
 """
 
 from __future__ import annotations
@@ -56,6 +68,8 @@ import os
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
+from ..db.interning import ValueId
+from ..db.sharding import RelationShard, ShardWire, ShardedInstance, ValueInternerView
 from ..logic.compiled import (
     InternerView,
     TermInterner,
@@ -67,7 +81,7 @@ from ..logic.subsumption import SubsumptionChecker
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..logic.subsumption import PreparedClause, PreparedGeneral
 
-__all__ = ["ProcessFanout", "checker_params"]
+__all__ = ["ProcessFanout", "SaturationFanout", "SerialShardScatter", "checker_params"]
 
 #: Environment override for the multiprocessing start method.
 _START_METHOD_ENV = "REPRO_FANOUT_START_METHOD"
@@ -318,6 +332,24 @@ class ProcessFanout:
         for future in [worker.submit(_run_chunk, empty) for worker in self._workers]:
             future.result()
 
+    def reset_routing(self) -> None:
+        """Forget the ground → worker pinning; the next dispatch rebalances.
+
+        Grounds are pinned to a worker on first sight, which is the right
+        call while a pool lives — the (large) prepared ground ships once —
+        but the pinning would otherwise outlive its balance: a long-lived
+        fan-out re-used across sessions (or compared against a different
+        ``n_jobs``) keeps early grounds crowded onto the first workers.
+        Resetting only drops the routing table and the round-robin cursor.
+        The shipped-handle bookkeeping survives deliberately: a rehomed
+        ground is rebuilt and re-shipped to its new worker on demand by
+        :meth:`dispatch` (which rebuilds any un-shipped ground wire), and
+        the stale copy on the old worker is simply never referenced again.
+        Verdicts are routing-independent, so rebalancing cannot change them.
+        """
+        self._route.clear()
+        self._next_worker = 0
+
     def close(self) -> None:
         """Shut the worker processes down; the fan-out is unusable afterwards."""
         if self._closed:
@@ -329,3 +361,247 @@ class ProcessFanout:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"
         return f"ProcessFanout({self.n_jobs} workers, {state})"
+
+
+# --------------------------------------------------------------------------- #
+# saturation scatter/gather: worker side
+# --------------------------------------------------------------------------- #
+# Separate module-level state from the coverage plane: a process can in
+# principle serve both (coverage chunks and chase depths), and the two
+# protocols must not see each other's registries.
+
+_SHARD_STATE: dict[str, Any] = {}
+
+#: Membership answers from one worker: ``(relation name, ((key, rows), ...))``
+#: pairs, non-empty keys only — the per-shard slice of ``any_rows_table``.
+_MembershipPart = tuple[tuple[str, tuple[tuple[ValueId, frozenset[int]], ...]], ...]
+#: Equality answers from one worker: ``((relation name, position), ((key, rows), ...))``.
+_EqualityPart = tuple[tuple[tuple[str, int], tuple[tuple[ValueId, tuple[int, ...]], ...]], ...]
+
+#: The probe tables one chase depth runs on, in parent terms: membership
+#: tables per relation name (``any_rows_table`` shape: only non-empty keys,
+#: but every requested relation present), and equality rows keyed
+#: ``(relation name, attribute name, key id)``.
+DepthTables = tuple[
+    dict[str, dict[ValueId, frozenset[int]]],
+    dict[tuple[str, str, ValueId], tuple[int, ...]],
+]
+
+
+def _seed_shard_worker(wires: tuple[ShardWire, ...], snapshot: tuple[int, int, bytes]) -> None:
+    """Executor initializer: rebuild this worker's shards and flag view."""
+    view = ValueInternerView()
+    view.extend(*snapshot)
+    _SHARD_STATE["values"] = view
+    _SHARD_STATE["shards"] = {wire[0]: RelationShard.from_wire(wire) for wire in wires}
+
+
+def _run_depth(task: tuple) -> tuple[_MembershipPart, _EqualityPart]:
+    """One dispatched chase depth: apply deltas, probe the local shards.
+
+    ``task`` is ``(delta, resets, extends, names, frontier, equal_probes)``:
+    the interner flag delta, full shard wires to replace (an overlay delta
+    rewrote rows — rebuilds carry a new generation), row-append deltas,
+    the relation names to probe, the ascending id-frontier, and
+    ``(name, position, keys)`` equality probes.  Probes run against the
+    shard's insert-time indexes — the same index-routed lookups the
+    unsharded relation answers, restricted to this shard's rows.
+    """
+    delta, resets, extends, names, frontier, equal_probes = task
+    values: ValueInternerView = _SHARD_STATE["values"]
+    if delta is not None:
+        values.extend(*delta)
+    shards: dict[str, RelationShard] = _SHARD_STATE["shards"]
+    for wire in resets:
+        shards[wire[0]] = RelationShard.from_wire(wire)
+    for name, rows in extends:
+        shards[name].extend_rows(rows)
+    if frontier and frontier[-1] >= len(values):
+        raise RuntimeError(
+            f"shard worker desynchronised: frontier id {frontier[-1]} is beyond "
+            f"the interner view watermark {len(values)} — an interner delta was lost"
+        )
+    membership = tuple(
+        (name, tuple(shards[name].membership_hits(frontier))) for name in names
+    )
+    equality = tuple(
+        ((name, position), tuple(shards[name].equality_hits(position, keys)))
+        for name, position, keys in equal_probes
+    )
+    return membership, equality
+
+
+# --------------------------------------------------------------------------- #
+# saturation scatter/gather: parent side
+# --------------------------------------------------------------------------- #
+class SaturationFanout:
+    """Shard workers answering the chase's per-depth probes in parallel.
+
+    One single-worker executor per shard (the same FIFO topology as
+    :class:`ProcessFanout`: a task that applies a row delta runs before any
+    task probing it).  Workers are seeded once with their shard wires and
+    the interner flag snapshot; each :meth:`depth_tables` dispatch carries
+    only what changed since — interner flag deltas, appended rows (or a
+    full shard re-ship when an overlay delta rewrote rows), the frontier
+    and the equality probes.  The gather merges the disjoint per-shard
+    answers with :mod:`repro.db.sharding`'s order-exact merges, so the
+    returned tables equal the unsharded prefetch's tables key for key.
+
+    Not thread-safe — one dispatch at a time, from the thread driving the
+    chase (which is how :class:`~repro.core.saturation.FrontierChase`
+    calls it).
+    """
+
+    def __init__(self, sharded: ShardedInstance, *, start_method: str | None = None) -> None:
+        context = multiprocessing.get_context(start_method or _start_method())
+        self.sharded = sharded
+        self.shard_count = sharded.shard_count
+        snapshot = sharded.interner_snapshot(0)
+        self._workers = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_seed_shard_worker,
+                initargs=(sharded.wire_shard(index), snapshot),
+            )
+            for index in range(self.shard_count)
+        ]
+        self._watermarks = [snapshot[1]] * self.shard_count
+        relations = sharded.shard_relations()
+        self._generations: list[dict[str, int]] = [
+            {name: rel.generation for name, rel in relations.items()}
+            for _ in range(self.shard_count)
+        ]
+        self._shipped_rows: list[dict[str, int]] = [
+            {name: len(rel.shards[index]) for name, rel in relations.items()}
+            for index in range(self.shard_count)
+        ]
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def _shard_deltas(self, index: int) -> tuple[tuple[ShardWire, ...], tuple]:
+        """What worker *index* is missing: full re-ships and row appends."""
+        resets: list[ShardWire] = []
+        extends: list[tuple[str, tuple]] = []
+        generations = self._generations[index]
+        shipped = self._shipped_rows[index]
+        for name, sharded_rel in self.sharded.shard_relations().items():
+            shard = sharded_rel.shards[index]
+            if generations.get(name) != sharded_rel.generation:
+                resets.append(shard.to_wire())
+                generations[name] = sharded_rel.generation
+                shipped[name] = len(shard)
+                continue
+            have = shipped.get(name, 0)
+            if len(shard) > have:
+                extends.append((name, tuple(shard.id_rows(have))))
+                shipped[name] = len(shard)
+        return tuple(resets), tuple(extends)
+
+    def depth_tables(
+        self,
+        names: tuple[str, ...],
+        frontier: tuple[ValueId, ...],
+        equal_probes: tuple[tuple[str, str, int, tuple[ValueId, ...]], ...],
+    ) -> DepthTables:
+        """Scatter one depth's probes to the shard workers and gather the union.
+
+        *names* are the relations to probe for frontier membership,
+        *frontier* the ascending id-frontier, *equal_probes* the MD
+        partner-key lookups as ``(relation, attribute, position, keys)``.
+        The attribute name stays parent-side (workers probe by position);
+        it keys the gathered equality table the way the chase consumes it.
+        """
+        if self._closed:
+            raise RuntimeError("SaturationFanout is closed")
+        self.sharded.sync()
+        futures: list[Future] = []
+        for index in range(self.shard_count):
+            resets, extends = self._shard_deltas(index)
+            start, mark, flags = self.sharded.interner_snapshot(self._watermarks[index])
+            delta = (start, mark, flags) if mark > start else None
+            self._watermarks[index] = mark
+            wire_probes = tuple((name, position, keys) for name, _, position, keys in equal_probes)
+            futures.append(
+                self._workers[index].submit(
+                    _run_depth, (delta, resets, extends, names, frontier, wire_probes)
+                )
+            )
+        attribute_of = {(name, position): attribute for name, attribute, position, _ in equal_probes}
+        membership: dict[str, dict[ValueId, frozenset[int]]] = {name: {} for name in names}
+        equality: dict[tuple[str, str, ValueId], tuple[int, ...]] = {}
+        for future in futures:
+            membership_part, equality_part = future.result()
+            for name, hits in membership_part:
+                table = membership[name]
+                for key, rows in hits:
+                    have = table.get(key)
+                    table[key] = rows if have is None else have | rows
+            for (name, position), hits in equality_part:
+                attribute = attribute_of[(name, position)]
+                for key, rows in hits:
+                    have_rows = equality.get((name, attribute, key))
+                    equality[(name, attribute, key)] = (
+                        rows if have_rows is None else tuple(sorted(have_rows + rows))
+                    )
+        return membership, equality
+
+    def warm(self) -> None:
+        """Spawn and seed every shard worker now (benchmarks time depths, not forking)."""
+        empty: tuple = (None, (), (), (), (), ())
+        for future in [worker.submit(_run_depth, empty) for worker in self._workers]:
+            future.result()
+
+    def close(self) -> None:
+        """Shut the shard workers down; the fan-out is unusable afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown(wait=False, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"SaturationFanout({self.shard_count} shards, {state})"
+
+
+class SerialShardScatter:
+    """In-process scatter over the same shards — the identity/debug backend.
+
+    Probes the parent-side :class:`~repro.db.sharding.ShardedInstance`
+    directly (no processes, no pickling) through exactly the merge path the
+    process fan-out gathers with.  This is what ``shard_count > 1`` means
+    under the serial/thread backends, and what the property suite uses to
+    pin scatter/gather ≡ unsharded without paying worker startup per case.
+    """
+
+    def __init__(self, sharded: ShardedInstance) -> None:
+        self.sharded = sharded
+        self.shard_count = sharded.shard_count
+        self._closed = False
+
+    def depth_tables(
+        self,
+        names: tuple[str, ...],
+        frontier: tuple[ValueId, ...],
+        equal_probes: tuple[tuple[str, str, int, tuple[ValueId, ...]], ...],
+    ) -> DepthTables:
+        if self._closed:
+            raise RuntimeError("SerialShardScatter is closed")
+        self.sharded.sync()
+        membership = {name: self.sharded.membership_table(name, frontier) for name in names}
+        equality: dict[tuple[str, str, ValueId], tuple[int, ...]] = {}
+        for name, attribute, position, keys in equal_probes:
+            for key, rows in self.sharded.equality_table(name, position, keys).items():
+                equality[(name, attribute, key)] = rows
+        return membership, equality
+
+    def warm(self) -> None:
+        """Nothing to spawn; present for interface parity."""
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return f"SerialShardScatter({self.shard_count} shards, {state})"

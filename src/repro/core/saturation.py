@@ -50,9 +50,12 @@ alone, so batch composition cannot change what any example gathers.
 
 from __future__ import annotations
 
+import pickle
+import warnings
 import zlib
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..db import kernels as db_kernels
 from ..db.instance import DatabaseInstance
@@ -64,6 +67,9 @@ from ..db.tuples import Tuple
 from ..similarity.index import SimilarityIndex
 from .config import DLearnConfig
 from .problem import Example, LearningProblem
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .fanout import SaturationFanout, SerialShardScatter
 
 __all__ = [
     "DatabaseProbeCache",
@@ -272,6 +278,31 @@ class _ChaseState:
         self.constants_at.setdefault((relation_name, attribute_name), set()).add(key)
 
 
+class _DepthTables:
+    """One depth's prefetched probe tables, whatever plane resolved them.
+
+    ``any_rows`` maps relation name → (frontier id → matching rows) — the
+    shape :meth:`DatabaseProbeCache.any_rows_table` returns, one table per
+    allowed relation, non-empty keys only.  ``equal_rows`` carries the
+    scatter/gather plane's gathered MD equality answers keyed
+    ``(relation name, attribute, partner id)``; it is ``None`` on the
+    unsharded path, where the same probes are warmed into the index/probe
+    caches instead and answered by ``probes.rows_equal`` at use.  Either
+    way a missing key falls back to the probe layer, so the prefetched
+    subset is an optimisation, never a correctness dependency.
+    """
+
+    __slots__ = ("any_rows", "equal_rows")
+
+    def __init__(
+        self,
+        any_rows: dict[str, dict[object, frozenset[int]]],
+        equal_rows: dict[tuple[str, str, object], tuple[int, ...]] | None,
+    ) -> None:
+        self.any_rows = any_rows
+        self.equal_rows = equal_rows
+
+
 class FrontierChase:
     """Gathers relevant tuples for one or many examples (Algorithm 2, lines 1-12).
 
@@ -333,6 +364,9 @@ class FrontierChase:
         self._chaseable_memo: dict[object, bool] = {}
         #: value id → canonical sort key for order-sensitive iterations.
         self._sort_keys: dict[object, str] = {}
+        #: Attached shard scatter plane (:meth:`attach_shard_scatter`);
+        #: ``None`` keeps every depth on the unsharded prefetch.
+        self._shard_scatter: "SaturationFanout | SerialShardScatter | None" = None
 
     # ------------------------------------------------------------------ #
     # public entry points
@@ -401,6 +435,27 @@ class FrontierChase:
             return isinstance(value, str)
         return self._chaseable(key, self.probes, self._chaseable_memo)
 
+    def attach_shard_scatter(self, scatter: "SaturationFanout | SerialShardScatter | None") -> None:
+        """Route each batched depth's probes through a shard scatter plane.
+
+        *scatter* is a :class:`repro.core.fanout.SaturationFanout` (the
+        process plane: shard workers answer the frontier probes GIL-free) or
+        a :class:`repro.core.fanout.SerialShardScatter` (the in-process
+        identity backend over the same shards).  Only the batched chase
+        consults it — ``relevant_serial`` stays the unsharded reference
+        oracle — and the gathered tables are, by the sharding layer's
+        merge guarantees, equal to the unsharded prefetch's, so results do
+        not depend on the attachment.  Pass ``None`` to detach.  A scatter
+        whose worker pool breaks detaches itself with a ``RuntimeWarning``
+        and the chase falls back to the unsharded path mid-batch.
+        """
+        if scatter is not None and not self.batched:
+            raise ValueError(
+                "the shard scatter serves the batched chase; a serial_saturation "
+                "session has no per-depth barrier to scatter"
+            )
+        self._shard_scatter = scatter
+
     def invalidate(self) -> None:
         """Drop every database-derived memo after an in-place mutation.
 
@@ -431,7 +486,7 @@ class FrontierChase:
         for key, state in states:
             self.cache.store(key, state.result)
 
-    def _prefetch_depth(self, states: Sequence[_ChaseState]) -> dict[str, dict[object, frozenset[int]]]:
+    def _prefetch_depth(self, states: Sequence[_ChaseState]) -> _DepthTables:
         """Resolve the probes this depth is known to need, one index walk each.
 
         Exact-match probes: the union of the active frontier ids, against
@@ -444,53 +499,106 @@ class FrontierChase:
         back to the same index-level caches, which compute on miss, so
         prefetching a depth-start subset is purely an optimisation and never
         a correctness concern.
+
+        With a shard scatter attached (:meth:`attach_shard_scatter`) both
+        probe shapes are resolved by the scatter plane instead — the shard
+        workers' index probes, merged order-exactly — and the MD answers
+        ride back in ``equal_rows`` rather than warming the parent caches.
         """
         union_frontier: set = set()
         for state in states:
             union_frontier |= state.frontier
         database = self.problem.database
         probe_mds = self.config.use_mds and not self.config.exact_match_only
-        tables: dict[str, dict[object, frozenset[int]]] = {}
-        for relation in database:
-            if not self._relation_allowed(relation.schema):
-                continue
-            tables[relation.schema.name] = (
+        allowed = [relation for relation in database if self._relation_allowed(relation.schema)]
+        equal_probes: list[tuple[RelationInstance, str, set]] = []
+        if probe_mds:
+            for relation in allowed:
+                relation_name = relation.schema.name
+                for md in self.problem.mds:
+                    if not md.involves(relation_name):
+                        continue
+                    index = self.similarity_indexes.get(md.name)
+                    if index is None:
+                        continue
+                    other_relation = md.other_relation(relation_name)
+                    to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
+                    search_keys: set = set()
+                    for state in states:
+                        known = state.constants_at.get((other_relation, from_attribute))
+                        if known:
+                            search_keys |= known & state.frontier
+                    partner_keys: set = set()
+                    id_of = self._interner.id_of
+                    for key in search_keys:
+                        value = self._interner.value_of(key)
+                        for partner in self._partners(index, md.name, key, value):
+                            if partner != value:
+                                partner_keys.add(id_of(partner))
+                    if partner_keys:
+                        equal_probes.append((relation, to_attribute, partner_keys))
+        if self._shard_scatter is not None:
+            tables = self._scatter_depth(allowed, union_frontier, equal_probes)
+            if tables is not None:
+                return tables
+        tables_map: dict[str, dict[object, frozenset[int]]] = {}
+        for relation in allowed:
+            tables_map[relation.schema.name] = (
                 relation.any_rows_table_vectorized(union_frontier)
                 if self._vectorized
                 else self.probes.any_rows_table(relation, union_frontier)
             )
-            if not probe_mds:
-                continue
-            relation_name = relation.schema.name
-            for md in self.problem.mds:
-                if not md.involves(relation_name):
-                    continue
-                index = self.similarity_indexes.get(md.name)
-                if index is None:
-                    continue
-                other_relation = md.other_relation(relation_name)
-                to_attribute, from_attribute = md.oriented_premises(relation_name)[0]
-                search_keys: set = set()
-                for state in states:
-                    known = state.constants_at.get((other_relation, from_attribute))
-                    if known:
-                        search_keys |= known & state.frontier
-                partner_keys: set = set()
-                id_of = self._interner.id_of
-                for key in search_keys:
-                    value = self._interner.value_of(key)
-                    for partner in self._partners(index, md.name, key, value):
-                        if partner != value:
-                            partner_keys.add(id_of(partner))
-                if partner_keys:
-                    if self._vectorized:
-                        # One numpy pass over the id column, seeding the
-                        # attribute index with pre-frozen entries for the
-                        # per-key probes the depth's advance will issue.
-                        relation.rows_equal_ids_vectorized(to_attribute, partner_keys)
-                    else:
-                        self.probes.prefetch_equal(relation, to_attribute, partner_keys)
-        return tables
+        for relation, to_attribute, partner_keys in equal_probes:
+            if self._vectorized:
+                # One numpy pass over the id column, seeding the
+                # attribute index with pre-frozen entries for the
+                # per-key probes the depth's advance will issue.
+                relation.rows_equal_ids_vectorized(to_attribute, partner_keys)
+            else:
+                self.probes.prefetch_equal(relation, to_attribute, partner_keys)
+        return _DepthTables(tables_map, None)
+
+    def _scatter_depth(
+        self,
+        allowed: Sequence[RelationInstance],
+        union_frontier: set,
+        equal_probes: Sequence[tuple[RelationInstance, str, set]],
+    ) -> _DepthTables | None:
+        """One depth's probes through the attached shard scatter plane.
+
+        Frontier and probe keys travel sorted (deterministic wire payloads).
+        A structurally broken scatter — worker pool died, payload refused to
+        pickle — detaches itself with a ``RuntimeWarning`` and returns
+        ``None`` so the caller falls through to the always-correct unsharded
+        path; a *desynchronised* worker (lost interner delta) raises instead,
+        because silently recomputing would mask a protocol bug.
+        """
+        scatter = self._shard_scatter
+        assert scatter is not None
+        try:
+            membership, equality = scatter.depth_tables(
+                tuple(relation.schema.name for relation in allowed),
+                tuple(sorted(union_frontier)),
+                tuple(
+                    (
+                        relation.schema.name,
+                        attribute,
+                        relation.schema.position_of(attribute),
+                        tuple(sorted(keys)),
+                    )
+                    for relation, attribute, keys in equal_probes
+                ),
+            )
+        except (BrokenProcessPool, pickle.PicklingError, OSError) as error:
+            warnings.warn(
+                f"sharded chase scatter failed ({error!r}); detaching and "
+                "falling back to the unsharded chase",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            self._shard_scatter = None
+            return None
+        return _DepthTables(membership, equality)
 
     # ------------------------------------------------------------------ #
     # per-example chase mechanics (shared by every path)
@@ -524,8 +632,9 @@ class FrontierChase:
             if not self._relation_allowed(relation.schema):
                 continue
             relation_name = relation.schema.name
-            table = tables.get(relation_name) if tables is not None else None
-            gathered = self._relevant_in_relation(relation, state, probes, table)
+            table = tables.any_rows.get(relation_name) if tables is not None else None
+            equal_rows = tables.equal_rows if tables is not None else None
+            gathered = self._relevant_in_relation(relation, state, probes, table, equal_rows)
             # De-duplicate tuples *by value* — duplicate rows share a
             # canonical row, so the test compares integers — preferring the
             # entry that carries similarity evidence (the MD join is what the
@@ -557,7 +666,7 @@ class FrontierChase:
         state.frontier = next_frontier
 
     def _relevant_in_relation(
-        self, relation: RelationInstance, state: _ChaseState, probes, table
+        self, relation: RelationInstance, state: _ChaseState, probes, table, equal_rows=None
     ) -> list[tuple[int, int, SimilarityEvidence | None]]:
         """Rows of one relation reachable from the example's frontier constants.
 
@@ -606,7 +715,18 @@ class FrontierChase:
                         continue
                     evidence = SimilarityEvidence(md.name, known_value, partner)
                     partner_key = interner.id_of(partner)
-                    for row in probes.rows_equal(relation, to_attribute, partner_key):
+                    # Scatter/gather depths carry the MD equality answers in
+                    # the depth tables; a miss there (a partner discovered
+                    # mid-depth, or one with no rows) falls back to the probe
+                    # layer — answers are identical, only provenance differs.
+                    rows_equal = (
+                        equal_rows.get((relation_name, to_attribute, partner_key))
+                        if equal_rows is not None
+                        else None
+                    )
+                    if rows_equal is None:
+                        rows_equal = probes.rows_equal(relation, to_attribute, partner_key)
+                    for row in rows_equal:
                         gathered.append((canonical[row], row, evidence))
         return gathered
 

@@ -32,12 +32,14 @@ predictions never rebuild indexes and never re-probe the database.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Sequence
 
 from ..constraints.mds import MatchingDependency
 from ..db.instance import DatabaseInstance
 from ..db.sampling import Sampler
 from ..db.schema import RelationSchema
+from ..db.sharding import ShardedInstance
 from ..logic.compiled import ClauseCompiler
 from ..logic.subsumption import SubsumptionChecker
 from ..similarity.composite import SimilarityOperator
@@ -46,7 +48,7 @@ from ..similarity.qgrams import QGramBlocker
 from .bottom_clause import BottomClauseBuilder, ClauseAssembler
 from .config import DLearnConfig
 from .coverage import CoverageEngine
-from .fanout import ProcessFanout, checker_params
+from .fanout import ProcessFanout, SaturationFanout, SerialShardScatter, checker_params
 from .generalization import Generalizer
 from .problem import Example, ExampleSet, LearningProblem
 from .saturation import DatabaseProbeCache, FrontierChase, SaturationCache
@@ -234,6 +236,8 @@ class DatabasePreparation:
         self.compiler = ClauseCompiler()
         self._md_caches: dict[str, _MdIndexCache] = {}
         self._fanouts: dict[tuple, ProcessFanout] = {}
+        self._sharded: dict[int, ShardedInstance] = {}
+        self._scatters: dict[tuple, SaturationFanout | SerialShardScatter] = {}
 
     @classmethod
     def from_problem(cls, problem: LearningProblem) -> "DatabasePreparation":
@@ -259,11 +263,52 @@ class DatabasePreparation:
             self._fanouts[key] = fanout
         return fanout
 
+    def sharded_instance(self, shard_count: int) -> ShardedInstance:
+        """Memoised row-wise sharded projection of this database.
+
+        One sharded projection per shard count serves every session over the
+        preparation — the shards are kept current against in-place mutations
+        by the scatter planes' per-depth :meth:`~repro.db.sharding.ShardedInstance.sync`
+        (a cheap stamp comparison when nothing changed).  Raises
+        ``ValueError`` for identity-interner storage, which cannot be
+        sharded (rows route by value id).
+        """
+        sharded = self._sharded.get(shard_count)
+        if sharded is None:
+            sharded = ShardedInstance(self.database, shard_count)
+            self._sharded[shard_count] = sharded
+        return sharded
+
+    def shard_scatter(self, shard_count: int, backend: str) -> SaturationFanout | SerialShardScatter:
+        """The shared per-depth scatter plane over ``shard_count`` shards.
+
+        ``backend == "process"`` builds (and memoises) a
+        :class:`~repro.core.fanout.SaturationFanout` — seeded shard worker
+        processes answering each depth's probes GIL-free; any other backend
+        gets the in-process :class:`~repro.core.fanout.SerialShardScatter`
+        over the same shards.  Memoised per (shard count, plane) so folds
+        and prediction sessions share one seeded pool, mirroring
+        :meth:`process_fanout`.
+        """
+        kind = "process" if backend == "process" else "serial"
+        key = (shard_count, kind)
+        scatter = self._scatters.get(key)
+        if scatter is None or scatter._closed:
+            sharded = self.sharded_instance(shard_count)
+            scatter = (
+                SaturationFanout(sharded) if kind == "process" else SerialShardScatter(sharded)
+            )
+            self._scatters[key] = scatter
+        return scatter
+
     def close(self) -> None:
-        """Shut down every process fan-out pool this preparation owns."""
+        """Shut down every worker pool (coverage and shard scatter) this preparation owns."""
         for fanout in self._fanouts.values():
             fanout.close()
         self._fanouts.clear()
+        for scatter in self._scatters.values():
+            scatter.close()
+        self._scatters.clear()
 
     # ------------------------------------------------------------------ #
     def similarity_indexes_for(
@@ -377,6 +422,21 @@ class LearningSession:
                 )
             except (OSError, PermissionError, ValueError):
                 pass  # the engine's own _ensure_fanout will warn and fall back
+        if config.shard_count > 1 and not serial_saturation:
+            # Scatter each chase depth over row-wise shards: worker processes
+            # under the process backend, the in-process shard plane otherwise.
+            # Structural refusals — identity-interner storage, no process
+            # spawning — fall back to the (always-correct) unsharded chase.
+            try:
+                self.chase.attach_shard_scatter(
+                    self.preparation.shard_scatter(config.shard_count, config.parallel_backend)
+                )
+            except (OSError, PermissionError, ValueError) as error:
+                warnings.warn(
+                    f"sharded chase unavailable ({error}); using the unsharded chase",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         self.generalizer = Generalizer(self.engine, config, Sampler(config.seed))
         self._serial_saturation = serial_saturation
         self._evaluation_sessions: dict[frozenset, "LearningSession"] = {}

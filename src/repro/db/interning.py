@@ -125,6 +125,31 @@ class ValueInterner:
         """All interned values in id order."""
         return iter(self._values)
 
+    # -- read-only snapshots (the sharded process plane) ----------------- #
+    def watermark(self) -> int:
+        """Number of ids handed out so far — the append-only high-water mark."""
+        return len(self._values)
+
+    def snapshot_flags(self, start: int = 0) -> tuple[int, int, bytes]:
+        """``(start, watermark, flags)`` — the is-string plane of ids ``[start, watermark)``.
+
+        One byte per id: 1 when the value is a string, 0 otherwise.  This is
+        the only per-id fact the sharded chase plane needs (the chaseability
+        type test of :meth:`repro.core.saturation.FrontierChase._chaseable`
+        is ``isinstance(value, str)``); shard workers rebuild a
+        :class:`~repro.db.sharding.ValueInternerView` from these bytes and
+        never see a decoded value.  The interner is append-only, so a worker
+        seeded at one watermark is brought current by the delta
+        ``snapshot_flags(worker_watermark)`` — the same protocol as
+        :meth:`repro.logic.compiled.TermInterner.snapshot_flags`.  Unlike the
+        term interner there is no lock here: a ``ValueInterner`` is owned by
+        one instance and mutated only from the thread driving it.
+        """
+        mark = len(self._values)
+        return start, mark, bytes(
+            1 if isinstance(value, str) else 0 for value in self._values[start:mark]
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ValueInterner({len(self)} values)"
 

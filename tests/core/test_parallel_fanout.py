@@ -269,6 +269,56 @@ class TestDeltaSync:
             fanout.close()
 
 
+class TestRoutingReset:
+    def test_reset_routing_rehomes_grounds_with_identical_verdicts(self):
+        compiler = ClauseCompiler()
+        checker = SubsumptionChecker(compiler=compiler)
+
+        def build_general(prepared):
+            return (general_to_wire(compiler.compile_general(prepared.clause)), None, None, False)
+
+        def build_ground(prepared):
+            return (
+                specific_to_wire(compiler.compile_specific(checker.prepare(prepared.clause))),
+                None,
+                None,
+                False,
+            )
+
+        general = HornClause(relation_literal("h", X), (relation_literal("r", X, Y),))
+        grounds = [
+            HornClause(
+                relation_literal("h", Constant(f"g{i}")),
+                (relation_literal("r", Constant(f"g{i}"), Constant("b")),),
+            )
+            for i in range(4)
+        ]
+        pairs = [(_Prepared(general), _Prepared(ground), True) for ground in grounds]
+        fanout = ProcessFanout(compiler.terms, checker_params(checker), n_jobs=2)
+        try:
+            first = fanout.dispatch(pairs, build_general, build_ground)
+            assert first == [True] * 4
+            before = dict(fanout._route)
+            assert sorted(before) == [0, 1, 2, 3]  # all four grounds pinned
+
+            fanout.reset_routing()
+            assert fanout._route == {}  # the pinning is gone...
+            assert fanout._next_worker == 0  # ...and the round-robin restarts
+
+            # Re-dispatch in a different order: grounds rehome round-robin
+            # from scratch, rebuilt wires re-ship on demand, and the verdicts
+            # cannot move (they are routing-independent by construction).
+            second = fanout.dispatch(list(reversed(pairs)), build_general, build_ground)
+            assert second == [True] * 4
+            after = dict(fanout._route)
+            assert sorted(after) == [0, 1, 2, 3]
+            # The reversed dispatch order pins handle 3 first, so the
+            # rebalance demonstrably produced a different assignment.
+            assert after != before
+        finally:
+            fanout.close()
+
+
 # --------------------------------------------------------------------- #
 # backend identity on a real learning session
 # --------------------------------------------------------------------- #
