@@ -1,0 +1,298 @@
+"""Fault-tolerant fan-out: recovery latency and post-recovery throughput.
+
+PR 10's supervision layer claims that a worker killed -9 mid-dispatch or a
+chunk delayed past its deadline costs one bounded recovery — respawn from
+pure wire state, replay the registration log, re-dispatch the lost chunk —
+and nothing else: verdicts stay bit-identical to the serial oracle and the
+recovered pool's steady-state throughput matches a pool that never faulted.
+
+This benchmark injects a deterministic kill plus a deadline-tripping delay
+(:mod:`repro.testing.chaos`) into a coverage sweep on the process backend
+and measures:
+
+* ``recovery_latency`` — seconds per recovery (terminate + respawn + replay),
+  straight from the supervisor's ``recovery_seconds`` counter.
+* ``post_recovery_ratio`` — fault-free steady-state ``covered_counts``
+  seconds divided by the same sweep on the *recovered* pool (chaos directives
+  are one-shot, so the sweep after the faulted warm pass runs clean).  A
+  healthy recovery keeps this near 1.0.
+
+Gates (exit 1): the chaos run's verdicts and covered counts must equal both
+the fault-free process run and the serial oracle, and at least one recovery
+must actually have happened (otherwise the injection silently missed).  On
+hosts with fewer than two effective CPUs the run is *skipped loudly* — a
+kill-and-respawn measurement on one core measures the scheduler, not the
+supervisor — and the JSON records the skip.
+
+Run it directly (pytest does not collect it):
+
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --quick --jobs 2
+    PYTHONPATH=src python benchmarks/bench_fault_tolerance.py --output BENCH_faults.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+import warnings
+
+if __package__ in (None, ""):  # running as a script: make src/ importable
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core import DatabasePreparation, DLearn, DLearnConfig
+from repro.core.fanout import _start_method
+from repro.core.supervision import DeadlinePolicy, FanoutFault
+from repro.data.registry import generate
+from repro.data.synthetic import ScenarioSpec
+from repro.logic import HornClause
+from repro.testing.chaos import ChaosSpec
+
+#: Generous for healthy movie-scale chunks, tripped by the injected delay.
+DEADLINES = DeadlinePolicy(dispatch_timeout=3.0, backoff=3.0, max_retries=2)
+
+#: Kill the first chunk ever dispatched, delay a later one past its deadline.
+CHAOS = ChaosSpec(kill_at=(0,), delay_at=(3,), delay_seconds=9.0)
+
+
+def _effective_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - macOS / Windows
+        return os.cpu_count() or 1
+
+
+def host_metadata(jobs: int) -> dict:
+    return {
+        "cpu_count": os.cpu_count(),
+        "effective_cpus": _effective_cpus(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "start_method": _start_method(),
+        "jobs": jobs,
+    }
+
+
+def _dataset(quick: bool):
+    return generate(
+        "synthetic",
+        spec=ScenarioSpec(
+            n_entities=60 if quick else 100,
+            string_variant_intensity=0.6,
+            md_drift=0.7,
+            cfd_violation_rate=0.25,
+            null_rate=0.05,
+            duplicate_rate=0.1,
+            n_positives=8 if quick else 12,
+            n_negatives=16 if quick else 24,
+            seed=7,
+        ),
+    )
+
+
+def _config(backend: str, jobs: int, chaos: ChaosSpec | None) -> DLearnConfig:
+    return DLearnConfig(
+        iterations=3,
+        sample_size=8,
+        top_k_matches=3,
+        generalization_sample=4,
+        max_clauses=4,
+        min_clause_positive_coverage=2,
+        min_clause_precision=0.55,
+        seed=0,
+        parallel_backend=backend,
+        n_jobs=1 if backend == "serial" else jobs,
+        deadline_policy=DEADLINES,
+        chaos=chaos,
+    )
+
+
+def _candidate_clauses(session, positives, n_seeds: int = 3) -> list[HornClause]:
+    """Full bottom clauses plus ARMG-like truncations (see bench_parallel_fanout)."""
+    candidates: list[HornClause] = []
+    seen: set[HornClause] = set()
+    for seed_example in positives[:n_seeds]:
+        bottom = session.builder.build(seed_example, ground=False)
+        for keep in (1.0, 0.6, 0.35, 0.2):
+            candidate = (
+                HornClause(bottom.head, bottom.body[: max(1, int(len(bottom.body) * keep))])
+                .prune_disconnected()
+                .prune_dangling_restrictions()
+            )
+            if candidate.body and candidate not in seen:
+                seen.add(candidate)
+                candidates.append(candidate)
+    return candidates
+
+
+def _sweep(dataset, backend: str, jobs: int, chaos: ChaosSpec | None) -> dict:
+    """One warm-then-steady-state coverage sweep; faults (if any) hit the warm pass."""
+    problem = dataset.problem()
+    preparation = DatabasePreparation.from_problem(problem)
+    try:
+        config = _config(backend, jobs, chaos)
+        session = DLearn(config).session(problem, preparation=preparation)
+        engine = session.engine
+        positives = list(problem.examples.positives)
+        negatives = list(problem.examples.negatives)
+        examples = positives + negatives
+        session.warm_saturation(examples)
+        candidates = _candidate_clauses(session, positives)
+
+        # Warm pass: compiles and ships every wire; the chaos directives are
+        # consumed here (one-shot ordinals), so any recovery happens now.
+        fault_warnings = 0
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            verdicts = [tuple(engine.batch_covers(candidate, examples)) for candidate in candidates]
+        fault_warnings = sum(1 for w in captured if isinstance(w.message, FanoutFault))
+
+        # Steady state: the sweep the covering loop pays for on every new
+        # candidate — on the chaos run this exercises the *recovered* pool.
+        engine.reset_verdicts()
+        started = time.perf_counter()
+        counts = [engine.covered_counts(candidate, positives, negatives) for candidate in candidates]
+        sweep_seconds = time.perf_counter() - started
+
+        stats = session.fault_stats()["coverage"]
+        return {
+            "verdicts": verdicts,
+            "counts": counts,
+            "sweep_seconds": sweep_seconds,
+            "candidates": len(candidates),
+            "examples": len(examples),
+            "fault_warnings": fault_warnings,
+            "counters": stats,
+        }
+    finally:
+        preparation.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized smoke run")
+    parser.add_argument("--jobs", type=int, default=2, help="workers for the process backend")
+    parser.add_argument("--repetitions", type=int, default=2,
+                        help="steady-state timing repetitions; the minimum is reported")
+    parser.add_argument("--force", action="store_true",
+                        help="measure even on a <2-cpu host (the record is annotated core-limited)")
+    parser.add_argument("--output", default=None, help="write the results as JSON to this path")
+    args = parser.parse_args(argv)
+
+    host = host_metadata(args.jobs)
+    print(
+        f"host: {host['effective_cpus']}/{host['cpu_count']} cpus, "
+        f"start method {host['start_method']}, {args.jobs} workers"
+    )
+    core_limited = host["effective_cpus"] < 2
+    if core_limited and not args.force:
+        # One core cannot host a meaningful kill-and-respawn measurement: the
+        # respawned worker and the parent fight for the same CPU and the
+        # latency number measures the scheduler.  Loud skip, honest JSON.
+        print(
+            "SKIP: fault-tolerance benchmark needs >= 2 effective cpus "
+            f"(found {host['effective_cpus']}; --force measures anyway)",
+            file=sys.stderr,
+        )
+        if args.output:
+            payload = {"benchmark": "fault_tolerance", "host": host, "skipped": True}
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.output}")
+        return 0
+
+    dataset = _dataset(args.quick)
+
+    serial = _sweep(dataset, "serial", args.jobs, None)
+    baseline = _sweep(dataset, "process", args.jobs, None)
+    chaotic = _sweep(dataset, "process", args.jobs, CHAOS)
+    for _ in range(args.repetitions - 1):
+        baseline["sweep_seconds"] = min(
+            baseline["sweep_seconds"], _sweep(dataset, "process", args.jobs, None)["sweep_seconds"]
+        )
+        chaotic["sweep_seconds"] = min(
+            chaotic["sweep_seconds"], _sweep(dataset, "process", args.jobs, CHAOS)["sweep_seconds"]
+        )
+
+    identical = {
+        "process_verdicts": serial["verdicts"] == baseline["verdicts"],
+        "process_counts": serial["counts"] == baseline["counts"],
+        "chaos_verdicts": serial["verdicts"] == chaotic["verdicts"],
+        "chaos_counts": serial["counts"] == chaotic["counts"],
+    }
+    counters = chaotic["counters"] or {}
+    recoveries = counters.get("recoveries", 0)
+    recovery_latency = (
+        counters.get("recovery_seconds", 0.0) / recoveries if recoveries else float("nan")
+    )
+    post_recovery_ratio = (
+        baseline["sweep_seconds"] / chaotic["sweep_seconds"]
+        if chaotic["sweep_seconds"]
+        else float("inf")
+    )
+    all_identical = all(identical.values())
+
+    print(f"candidates / examples      : {serial['candidates']} / {serial['examples']}")
+    print(f"faults injected            : {counters.get('faults')}")
+    print(f"recoveries / retries       : {recoveries} / {counters.get('retries', 0)}")
+    print(f"demotions                  : {counters.get('demotions', 0)}")
+    print(f"recovery latency           : {recovery_latency * 1000:.1f} ms")
+    print(f"post-recovery throughput   : {post_recovery_ratio:.2f}x of fault-free")
+    print(f"observationally identical  : {'yes' if all_identical else 'NO'}")
+
+    if args.output:
+        payload = {
+            "benchmark": "fault_tolerance",
+            "mode": "quick" if args.quick else "full",
+            "host": host,
+            "skipped": False,
+            "core_limited": core_limited,
+            "chaos": {
+                "kill_at": list(CHAOS.kill_at),
+                "delay_at": list(CHAOS.delay_at),
+                "delay_seconds": CHAOS.delay_seconds,
+            },
+            "candidates": serial["candidates"],
+            "examples": serial["examples"],
+            "counters": counters,
+            "fault_warnings": chaotic["fault_warnings"],
+            "recovery_latency_seconds": round(recovery_latency, 4),
+            "baseline_sweep_seconds": round(baseline["sweep_seconds"], 4),
+            "chaos_sweep_seconds": round(chaotic["sweep_seconds"], 4),
+            "post_recovery_ratio": round(post_recovery_ratio, 3),
+            **{f"identical_{key}": value for key, value in identical.items()},
+            "all_identical": all_identical,
+            "recoveries": recoveries,
+        }
+        if core_limited:
+            payload["core_limited_note"] = (
+                f"measured with --force on {host['effective_cpus']} effective core(s): "
+                "latency and throughput numbers include scheduler contention"
+            )
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if not all_identical:
+        print("FAIL: chaos or process run disagrees with the serial oracle", file=sys.stderr)
+        return 1
+    if recoveries < 1:
+        print("FAIL: no recovery happened — the chaos injection missed its target",
+              file=sys.stderr)
+        return 1
+    if counters.get("demotions", 0):
+        print("FAIL: the pool was demoted — faults were terminal instead of recovered",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,13 @@ from .generalization import Generalizer, LearnedClause
 from .problem import Example, ExampleSet, LearningProblem
 from .saturation import DatabaseProbeCache, FrontierChase, SaturationCache
 from .session import DatabasePreparation, LearningSession
+from .supervision import (
+    DeadlinePolicy,
+    FanoutFault,
+    FanoutFaultError,
+    FaultCounters,
+    FaultPolicy,
+)
 from .repair_literals import (
     cfd_lhs_repair_literals,
     cfd_rhs_repair_literals,
@@ -32,8 +39,13 @@ __all__ = [
     "DLearnConfig",
     "DatabasePreparation",
     "DatabaseProbeCache",
+    "DeadlinePolicy",
     "Example",
     "ExampleSet",
+    "FanoutFault",
+    "FanoutFaultError",
+    "FaultCounters",
+    "FaultPolicy",
     "FrontierChase",
     "Generalizer",
     "LearnedClause",

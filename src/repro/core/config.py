@@ -9,6 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..testing.chaos import ChaosSpec
+from .supervision import DeadlinePolicy, FaultPolicy
+
 __all__ = ["DLearnConfig"]
 
 
@@ -143,6 +146,36 @@ class DLearnConfig:
         way; only the cost profile differs.  Requires interned storage;
         sessions over identity-interner instances warn and fall back to
         the unsharded chase.
+    fault_policy:
+        Degradation ladder of the supervised process fan-out pools
+        (:mod:`repro.core.supervision`): ``"recover"`` (the default)
+        respawns a crashed/hung/desynchronised worker in place, replays its
+        registration log and re-dispatches only the lost chunk — demoting
+        to the thread backend (coverage) or the unsharded chase
+        (saturation) only when the per-pool ``max_recoveries`` budget runs
+        out; ``"degrade_thread"`` / ``"degrade_serial"`` skip recovery and
+        drop to the thread / serial path on the first fault; ``"raise"``
+        propagates a :class:`~repro.core.supervision.FanoutFaultError`
+        immediately.  Every demotion warns a structured
+        :class:`~repro.core.supervision.FanoutFault` carrying the fault
+        kind, pool and attempt.  Irrelevant unless
+        ``parallel_backend="process"`` (or ``shard_count > 1`` under it).
+    deadline_policy:
+        Per-dispatch timeouts of the supervised pools: base seconds per
+        chunk (scaled by ``per_item`` work units, backed off per retry).
+        A chunk past its deadline marks the worker hung — it is killed and
+        recovered, not waited on.  ``DeadlinePolicy(dispatch_timeout=None)``
+        disables deadlines.  The default (120 s) is deliberately far above
+        any healthy chunk.
+    chaos:
+        Deterministic fault injection (:mod:`repro.testing.chaos`): a
+        :class:`~repro.testing.chaos.ChaosSpec` naming chunk ordinals at
+        which a worker is killed, delayed past its deadline, shipped a
+        corrupt wire, or denied an interner delta.  ``None`` — always the
+        production setting — injects nothing; the chaos suite and the
+        fault-tolerance benchmark set it to prove recovery yields
+        bit-identical results.  (The ``REPRO_CHAOS`` environment variable
+        gates the same injector operationally.)
     seed:
         Seed for every random choice (sampling of relevant tuples, of
         ``E+_s`` seeds and of training folds), making runs reproducible.
@@ -179,6 +212,9 @@ class DLearnConfig:
     n_jobs: int = 1
     parallel_backend: str = "thread"
     shard_count: int = 1
+    fault_policy: FaultPolicy = FaultPolicy()
+    deadline_policy: DeadlinePolicy = DeadlinePolicy()
+    chaos: ChaosSpec | None = None
     seed: int = 0
     use_mds: bool = True
     use_cfds: bool = True
@@ -204,6 +240,12 @@ class DLearnConfig:
             raise ValueError("parallel_backend must be one of 'serial', 'thread', 'process'")
         if self.shard_count < 1:
             raise ValueError("shard_count must be >= 1")
+        if not isinstance(self.fault_policy, FaultPolicy):
+            raise ValueError("fault_policy must be a FaultPolicy")
+        if not isinstance(self.deadline_policy, DeadlinePolicy):
+            raise ValueError("deadline_policy must be a DeadlinePolicy")
+        if self.chaos is not None and not isinstance(self.chaos, ChaosSpec):
+            raise ValueError("chaos must be a ChaosSpec or None")
 
     def but(self, **changes) -> "DLearnConfig":
         """Return a copy with the given fields changed (sweep helper)."""

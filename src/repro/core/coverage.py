@@ -51,23 +51,23 @@ interner, so clauses are compiled to the integer plane once per session.
 
 from __future__ import annotations
 
-import pickle
 import threading
 import warnings
 import weakref
 from concurrent.futures import ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from functools import lru_cache
 from typing import Iterable, Sequence
 
 from ..logic.clauses import HornClause
 from ..logic.compiled import ClauseCompiler, general_to_wire, specific_to_wire
 from ..logic.subsumption import PreparedClause, PreparedGeneral, SubsumptionChecker
+from ..testing.chaos import ChaosInjector
 from .bottom_clause import BottomClauseBuilder
 from .config import DLearnConfig
 from .fanout import ProcessFanout, checker_params
 from .problem import Example
 from .repair_literals import repaired_clauses
+from .supervision import FanoutFault, FanoutFaultError, FaultCounters
 
 __all__ = ["CoverageEngine"]
 
@@ -193,6 +193,10 @@ class CoverageEngine:
         self._fanout: ProcessFanout | None = None
         self._fanout_owned = False
         self._fanout_failed = False
+        #: Fault/retry/recovery counters of the last process fan-out this
+        #: engine drove.  Kept past demotion (the pool is closed then), so
+        #: the session's observability survives the pool it describes.
+        self._fault_counters: FaultCounters | None = None
         # Pure per-clause computations, memoised for the engine's lifetime.
         # ``lru_cache`` is thread-safe, which is what allows ``batch_covers``
         # to fan example checks out across a worker pool.
@@ -399,17 +403,32 @@ class CoverageEngine:
                 self._fanout_general_bundle,
                 self._fanout_ground_bundle,
             )
-        except (BrokenProcessPool, pickle.PicklingError, OSError) as error:
+        except FanoutFaultError as fault:
+            # Terminal under the policy: the supervisor already recovered
+            # what the budget allowed.  Retire the pool (broken worker and
+            # healthy siblings both — attached pools too: leaving them open
+            # leaked handles, and the preparation rebuilds closed pools on
+            # demand), then walk the remaining ladder rungs.
+            self._retire_fanout(fanout)
+            mode = self.config.fault_policy.mode
+            if mode == "raise":
+                raise
+            rung = "serial backend" if mode == "degrade_serial" else "thread backend"
             warnings.warn(
-                f"process fan-out failed ({error!r}); falling back to the thread backend",
-                RuntimeWarning,
+                FanoutFault(
+                    f"process fan-out demoted after a terminal {fault.kind} fault "
+                    f"({fault}); falling back to the {rung}",
+                    kind=fault.kind,
+                    pool=fault.pool or ProcessFanout.pool_name,
+                    attempt=fault.attempt,
+                ),
                 stacklevel=3,
             )
-            with self._verdict_lock:
-                self._fanout = None
-                self._fanout_failed = True
-            if self._fanout_owned:
-                fanout.close()
+            if mode == "degrade_serial":
+                return [
+                    self._covers_ground(self.checker, general, ground, positive=example.positive)
+                    for example, ground in zip(examples, grounds)
+                ]
             return self._thread_batch(general, examples, grounds, self._effective_jobs(len(examples)))
         with self._verdict_lock:
             for (_, _, key), verdict in zip(pending, verdicts):
@@ -605,13 +624,35 @@ class CoverageEngine:
 
         The fan-out must have been built over this engine's compiler interner
         (:meth:`repro.core.session.DatabasePreparation.process_fanout`
-        guarantees it); its lifecycle stays with the owner — the engine never
-        closes an attached pool.
+        guarantees it).  In healthy operation its lifecycle stays with the
+        owner; on a terminal fault the engine *does* close it (see
+        :meth:`_retire_fanout`) — a demoted pool is unusable either way and
+        the preparation rebuilds closed pools on demand.
         """
         with self._verdict_lock:
             self._fanout = fanout
             self._fanout_owned = False
             self._fanout_failed = False
+            self._fault_counters = fanout.supervisor.counters
+
+    @property
+    def fault_counters(self) -> FaultCounters | None:
+        """Fault/retry/recovery counters of the engine's process fan-out.
+
+        ``None`` until a process pool was attached or created; survives
+        demotion so a session can report what its (now closed) pool went
+        through.
+        """
+        return self._fault_counters
+
+    def _retire_fanout(self, fanout: ProcessFanout) -> None:
+        """Drop a terminally faulted pool: close every worker, record the demotion."""
+        with self._verdict_lock:
+            self._fanout = None
+            self._fanout_owned = False
+            self._fanout_failed = True
+        fanout.supervisor.counters.demotions += 1
+        fanout.close()
 
     def _ensure_fanout(self) -> ProcessFanout | None:
         """The engine's process fan-out, created on first use; ``None`` after failure."""
@@ -621,12 +662,21 @@ class CoverageEngine:
             return None
         try:
             fanout = ProcessFanout(
-                self.compiler.terms, checker_params(self.checker), self.config.n_jobs
+                self.compiler.terms,
+                checker_params(self.checker),
+                self.config.n_jobs,
+                fault_policy=self.config.fault_policy,
+                deadline_policy=self.config.deadline_policy,
+                chaos=ChaosInjector(self.config.chaos) if self.config.chaos is not None else None,
             )
         except (OSError, PermissionError, ValueError) as error:
             warnings.warn(
-                f"process fan-out unavailable ({error!r}); falling back to the thread backend",
-                RuntimeWarning,
+                FanoutFault(
+                    f"process fan-out unavailable ({error!r}); falling back to the thread backend",
+                    kind="seed-failure",
+                    pool=ProcessFanout.pool_name,
+                    attempt=0,
+                ),
                 stacklevel=3,
             )
             with self._verdict_lock:
@@ -635,6 +685,7 @@ class CoverageEngine:
         with self._verdict_lock:
             self._fanout = fanout
             self._fanout_owned = True
+            self._fault_counters = fanout.supervisor.counters
         # Engine-owned pools die with the engine; attached pools belong to
         # the preparation that built them.
         weakref.finalize(self, fanout.close)

@@ -65,6 +65,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Any, Callable, Sequence, TYPE_CHECKING
 
@@ -77,6 +79,14 @@ from ..logic.compiled import (
     specific_from_wire,
 )
 from ..logic.subsumption import SubsumptionChecker
+from ..testing.chaos import CORRUPT_WIRE, ChaosInjector, chaos_from_env
+from .supervision import (
+    DeadlinePolicy,
+    FaultPolicy,
+    PoolSupervisor,
+    WorkerJob,
+    terminate_executor,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..logic.subsumption import PreparedClause, PreparedGeneral
@@ -187,9 +197,27 @@ def _bundle_verdict(checker: SubsumptionChecker, general: tuple, ground: tuple, 
     )
 
 
+def _apply_chaos(directive: tuple | None) -> None:
+    """Execute a chaos directive shipped inside a task payload.
+
+    Directives are plain data (PF01-picklable) injected parent-side by
+    :mod:`repro.testing.chaos`, one-shot per chunk — a recovered worker's
+    retry payload never carries one.  ``("kill",)`` is kill -9 semantics:
+    no cleanup, no exception, the parent sees a broken pool.  ``("delay",
+    seconds)`` holds the chunk past its dispatch deadline.
+    """
+    if directive is None:
+        return
+    if directive[0] == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif directive[0] == "delay":
+        time.sleep(directive[1])
+
+
 def _run_chunk(task: tuple) -> list[tuple[int, bool]]:
     """One dispatched work chunk: apply the delta, register bundles, prove pairs."""
-    delta, generals, grounds, work = task
+    delta, generals, grounds, work, chaos = task
+    _apply_chaos(chaos)
     terms: InternerView = _STATE["terms"]
     if delta is not None:
         terms.extend(*delta)
@@ -223,7 +251,18 @@ class ProcessFanout:
     through the same :class:`~repro.logic.compiled.ClauseCompiler`
     (:meth:`repro.core.session.DatabasePreparation.process_fanout` memoises
     exactly that sharing).
+
+    Dispatches run supervised (:class:`~repro.core.supervision.PoolSupervisor`):
+    every await carries a :class:`~repro.core.supervision.DeadlinePolicy`
+    timeout, and a crashed, hung or desynchronised worker is killed,
+    respawned from the current interner snapshot, its registration log
+    replayed from the retained wire bundles (:meth:`_recover_worker`), and
+    only the lost chunk re-dispatched.  Routing (:attr:`_route`) survives
+    recovery untouched, so verdict identity is preserved by construction.
     """
+
+    #: Pool name in fault taxonomy warnings and session fault counters.
+    pool_name = "coverage"
 
     def __init__(
         self,
@@ -232,35 +271,46 @@ class ProcessFanout:
         n_jobs: int,
         *,
         start_method: str | None = None,
+        fault_policy: FaultPolicy | None = None,
+        deadline_policy: DeadlinePolicy | None = None,
+        chaos: ChaosInjector | None = None,
     ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
-        context = multiprocessing.get_context(start_method or _start_method())
+        self._context = multiprocessing.get_context(start_method or _start_method())
         self.n_jobs = n_jobs
         self._interner = interner
+        self._params = dict(params)
+        self.supervisor = PoolSupervisor(
+            self.pool_name, fault_policy=fault_policy, deadline_policy=deadline_policy
+        )
+        self._chaos = chaos if chaos is not None else chaos_from_env()
         snapshot = interner.snapshot_flags(0)
-        self._workers = [
-            ProcessPoolExecutor(
-                max_workers=1,
-                mp_context=context,
-                initializer=_seed_worker,
-                initargs=(dict(params), snapshot),
-            )
-            for _ in range(n_jobs)
-        ]
+        self._workers = [self._new_worker(snapshot) for _ in range(n_jobs)]
         self._watermarks = [snapshot[1]] * n_jobs
         self._shipped_generals: list[set[int]] = [set() for _ in range(n_jobs)]
         self._shipped_grounds: list[set[int]] = [set() for _ in range(n_jobs)]
         self._general_ids: dict[object, int] = {}
         self._ground_ids: dict[object, int] = {}
-        #: Handle → wire bundle for generals only: a general may meet new
-        #: grounds routed to workers it has not visited yet.  Ground bundles
-        #: are shipped to their routed worker immediately and never kept.
+        #: Handle → wire bundle, both planes.  Generals because a general
+        #: may meet new grounds routed to workers it has not visited yet;
+        #: grounds because crash recovery replays a worker's registration
+        #: log from the parent's retained wires (and rehoming after
+        #: :meth:`reset_routing` re-ships from here instead of rebuilding).
         self._general_wires: dict[int, Bundle] = {}
+        self._ground_wires: dict[int, Bundle] = {}
         #: Ground handle → worker index, fixed at first sight (round-robin).
         self._route: dict[int, int] = {}
         self._next_worker = 0
         self._closed = False
+
+    def _new_worker(self, snapshot: tuple[int, int, bytes]) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context,
+            initializer=_seed_worker,
+            initargs=(dict(self._params), snapshot),
+        )
 
     # ------------------------------------------------------------------ #
     def dispatch(
@@ -289,11 +339,10 @@ class ProcessFanout:
                 self._general_ids[general.clause] = gh
                 self._general_wires[gh] = build_general(general)
             sh = self._ground_ids.get(ground.clause)
-            ground_wire: Bundle | None = None
             if sh is None:
                 sh = len(self._ground_ids)
                 self._ground_ids[ground.clause] = sh
-                ground_wire = build_ground(ground)
+                self._ground_wires[sh] = build_ground(ground)
             worker = self._route.get(sh)
             if worker is None:
                 worker = self._next_worker % n_jobs
@@ -305,32 +354,82 @@ class ProcessFanout:
                 generals.append((gh, self._general_wires[gh]))
             if sh not in self._shipped_grounds[worker]:
                 self._shipped_grounds[worker].add(sh)
-                grounds.append((sh, ground_wire if ground_wire is not None else build_ground(ground)))
+                grounds.append((sh, self._ground_wires[sh]))
             work.append((idx, gh, sh, positive))
 
-        futures: list[Future] = []
+        jobs: list[WorkerJob] = []
         for worker, (generals, grounds, work) in enumerate(tasks):
             if not work:
                 continue
             start, mark, flags = self._interner.snapshot_flags(self._watermarks[worker])
             delta = (start, mark, flags) if mark > start else None
             self._watermarks[worker] = mark
-            futures.append(
-                self._workers[worker].submit(
-                    _run_chunk, (delta, tuple(generals), tuple(grounds), tuple(work))
+            directive = None
+            if self._chaos is not None:
+                faults = self._chaos.chunk_faults()
+                directive = faults.directive
+                if faults.drop_delta:
+                    delta = None
+                if faults.corrupt_wire:
+                    if grounds:
+                        grounds = self._chaos.corrupt_bundles(grounds)
+                    else:
+                        generals = self._chaos.corrupt_bundles(generals)
+            jobs.append(
+                WorkerJob(
+                    worker=worker,
+                    payload=(delta, tuple(generals), tuple(grounds), tuple(work), directive),
+                    # A recovered worker is reseeded from the current full
+                    # snapshot and replayed every shipped bundle, so the
+                    # retry needs neither delta nor registrations.
+                    retry_payload=(None, (), (), tuple(work), None),
+                    units=len(work),
                 )
             )
         verdicts = [False] * len(pairs)
-        for future in futures:
-            for idx, verdict in future.result():
+        for part in self.supervisor.run(jobs, self._submit, self._recover_worker):
+            for idx, verdict in part:
                 verdicts[idx] = verdict
         return verdicts
 
+    # ------------------------------------------------------------------ #
+    def _submit(self, worker: int, payload: tuple) -> Future:
+        return self._workers[worker].submit(_run_chunk, payload)
+
+    def _recover_worker(self, worker: int) -> None:
+        """Respawn worker *worker* and replay its registration log.
+
+        The old executor is hard-terminated (a hung worker must not linger),
+        a fresh single-worker executor is seeded from the *current* interner
+        snapshot, and every bundle the dead worker had registered — by the
+        shipped-handle sets, which were updated when the lost chunk was
+        built — is re-shipped from the parent's retained wires in one replay
+        task.  FIFO ordering guarantees the replay lands before the retried
+        chunk; handle order is sorted, so registration is deterministic.
+        Routing is deliberately untouched: verdicts are routing-independent,
+        and the surviving workers' state is exactly as shipped.
+        """
+        terminate_executor(self._workers[worker])
+        snapshot = self._interner.snapshot_flags(0)
+        self._workers[worker] = self._new_worker(snapshot)
+        self._watermarks[worker] = snapshot[1]
+        generals = tuple(
+            (handle, self._general_wires[handle])
+            for handle in sorted(self._shipped_generals[worker])
+        )
+        grounds = tuple(
+            (handle, self._ground_wires[handle])
+            for handle in sorted(self._shipped_grounds[worker])
+        )
+        if generals or grounds:
+            self._workers[worker].submit(_run_chunk, (None, generals, grounds, (), None))
+
     def warm(self) -> None:
         """Spawn and seed every worker now (benchmarks time dispatch, not forking)."""
-        empty = (None, (), (), ())
+        empty = (None, (), (), (), None)
+        timeout = self.supervisor.deadline_policy.timeout_for(0)
         for future in [worker.submit(_run_chunk, empty) for worker in self._workers]:
-            future.result()
+            future.result(timeout=timeout)
 
     def reset_routing(self) -> None:
         """Forget the ground → worker pinning; the next dispatch rebalances.
@@ -342,21 +441,27 @@ class ProcessFanout:
         ``n_jobs``) keeps early grounds crowded onto the first workers.
         Resetting only drops the routing table and the round-robin cursor.
         The shipped-handle bookkeeping survives deliberately: a rehomed
-        ground is rebuilt and re-shipped to its new worker on demand by
-        :meth:`dispatch` (which rebuilds any un-shipped ground wire), and
-        the stale copy on the old worker is simply never referenced again.
-        Verdicts are routing-independent, so rebalancing cannot change them.
+        ground is re-shipped to its new worker on demand by :meth:`dispatch`
+        from the parent's retained wire, and the stale copy on the old
+        worker is simply never referenced again.  Verdicts are
+        routing-independent, so rebalancing cannot change them.
         """
         self._route.clear()
         self._next_worker = 0
 
     def close(self) -> None:
-        """Shut the worker processes down; the fan-out is unusable afterwards."""
+        """Shut the worker processes down; the fan-out is unusable afterwards.
+
+        Idempotent, and hard: worker processes are killed, not merely asked
+        to wind down — a close after a fault (the degradation ladder closes
+        demoted pools, healthy siblings included) must not leave a hung
+        worker blocking interpreter exit.
+        """
         if self._closed:
             return
         self._closed = True
         for worker in self._workers:
-            worker.shutdown(wait=False, cancel_futures=True)
+            terminate_executor(worker)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"
@@ -399,15 +504,17 @@ def _seed_shard_worker(wires: tuple[ShardWire, ...], snapshot: tuple[int, int, b
 def _run_depth(task: tuple) -> tuple[_MembershipPart, _EqualityPart]:
     """One dispatched chase depth: apply deltas, probe the local shards.
 
-    ``task`` is ``(delta, resets, extends, names, frontier, equal_probes)``:
-    the interner flag delta, full shard wires to replace (an overlay delta
-    rewrote rows — rebuilds carry a new generation), row-append deltas,
-    the relation names to probe, the ascending id-frontier, and
-    ``(name, position, keys)`` equality probes.  Probes run against the
-    shard's insert-time indexes — the same index-routed lookups the
+    ``task`` is ``(delta, resets, extends, names, frontier, equal_probes,
+    chaos)``: the interner flag delta, full shard wires to replace (an
+    overlay delta rewrote rows — rebuilds carry a new generation),
+    row-append deltas, the relation names to probe, the ascending
+    id-frontier, ``(name, position, keys)`` equality probes, and an
+    optional chaos directive (:func:`_apply_chaos`).  Probes run against
+    the shard's insert-time indexes — the same index-routed lookups the
     unsharded relation answers, restricted to this shard's rows.
     """
-    delta, resets, extends, names, frontier, equal_probes = task
+    delta, resets, extends, names, frontier, equal_probes, chaos = task
+    _apply_chaos(chaos)
     values: ValueInternerView = _SHARD_STATE["values"]
     if delta is not None:
         values.extend(*delta)
@@ -450,22 +557,37 @@ class SaturationFanout:
     Not thread-safe — one dispatch at a time, from the thread driving the
     chase (which is how :class:`~repro.core.saturation.FrontierChase`
     calls it).
+
+    Dispatches run supervised, like :class:`ProcessFanout`'s: deadlines on
+    every await, and a crashed, hung or desynchronised shard worker is
+    killed and respawned seeded with its shard's *current* wire forms and
+    the current interner snapshot (:meth:`_recover_worker` — a full
+    re-seed genuinely repairs a lost delta, which is why desync faults
+    recover here instead of propagating).  The shard index is positional,
+    so recovery cannot change which rows a worker answers for.
     """
 
-    def __init__(self, sharded: ShardedInstance, *, start_method: str | None = None) -> None:
-        context = multiprocessing.get_context(start_method or _start_method())
+    #: Pool name in fault taxonomy warnings and session fault counters.
+    pool_name = "saturation"
+
+    def __init__(
+        self,
+        sharded: ShardedInstance,
+        *,
+        start_method: str | None = None,
+        fault_policy: FaultPolicy | None = None,
+        deadline_policy: DeadlinePolicy | None = None,
+        chaos: ChaosInjector | None = None,
+    ) -> None:
+        self._context = multiprocessing.get_context(start_method or _start_method())
         self.sharded = sharded
         self.shard_count = sharded.shard_count
+        self.supervisor = PoolSupervisor(
+            self.pool_name, fault_policy=fault_policy, deadline_policy=deadline_policy
+        )
+        self._chaos = chaos if chaos is not None else chaos_from_env()
         snapshot = sharded.interner_snapshot(0)
-        self._workers = [
-            ProcessPoolExecutor(
-                max_workers=1,
-                mp_context=context,
-                initializer=_seed_shard_worker,
-                initargs=(sharded.wire_shard(index), snapshot),
-            )
-            for index in range(self.shard_count)
-        ]
+        self._workers = [self._new_worker(index, snapshot) for index in range(self.shard_count)]
         self._watermarks = [snapshot[1]] * self.shard_count
         relations = sharded.shard_relations()
         self._generations: list[dict[str, int]] = [
@@ -477,6 +599,14 @@ class SaturationFanout:
             for index in range(self.shard_count)
         ]
         self._closed = False
+
+    def _new_worker(self, index: int, snapshot: tuple[int, int, bytes]) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._context,
+            initializer=_seed_shard_worker,
+            initargs=(self.sharded.wire_shard(index), snapshot),
+        )
 
     # ------------------------------------------------------------------ #
     def _shard_deltas(self, index: int) -> tuple[tuple[ShardWire, ...], tuple]:
@@ -515,23 +645,40 @@ class SaturationFanout:
         if self._closed:
             raise RuntimeError("SaturationFanout is closed")
         self.sharded.sync()
-        futures: list[Future] = []
+        wire_probes = tuple((name, position, keys) for name, _, position, keys in equal_probes)
+        jobs: list[WorkerJob] = []
         for index in range(self.shard_count):
             resets, extends = self._shard_deltas(index)
             start, mark, flags = self.sharded.interner_snapshot(self._watermarks[index])
             delta = (start, mark, flags) if mark > start else None
             self._watermarks[index] = mark
-            wire_probes = tuple((name, position, keys) for name, _, position, keys in equal_probes)
-            futures.append(
-                self._workers[index].submit(
-                    _run_depth, (delta, resets, extends, names, frontier, wire_probes)
+            directive = None
+            if self._chaos is not None:
+                faults = self._chaos.chunk_faults()
+                directive = faults.directive
+                if faults.drop_delta:
+                    delta = None
+                if faults.corrupt_wire and resets:
+                    # ShardWire payloads, not (handle, wire) pairs: replace
+                    # the first re-shipped shard with the invalid marker.
+                    resets = (CORRUPT_WIRE,) + resets[1:]
+            jobs.append(
+                WorkerJob(
+                    worker=index,
+                    payload=(delta, resets, extends, names, frontier, wire_probes, directive),
+                    # Recovery reseeds the worker with its shard's current
+                    # wires and the full interner snapshot, so the retry
+                    # carries only the probes.
+                    retry_payload=(None, (), (), names, frontier, wire_probes, None),
+                    units=max(1, len(frontier)),
                 )
             )
         attribute_of = {(name, position): attribute for name, attribute, position, _ in equal_probes}
         membership: dict[str, dict[ValueId, frozenset[int]]] = {name: {} for name in names}
         equality: dict[tuple[str, str, ValueId], tuple[int, ...]] = {}
-        for future in futures:
-            membership_part, equality_part = future.result()
+        for membership_part, equality_part in self.supervisor.run(
+            jobs, self._submit, self._recover_worker
+        ):
             for name, hits in membership_part:
                 table = membership[name]
                 for key, rows in hits:
@@ -546,19 +693,49 @@ class SaturationFanout:
                     )
         return membership, equality
 
+    # ------------------------------------------------------------------ #
+    def _submit(self, worker: int, payload: tuple) -> Future:
+        return self._workers[worker].submit(_run_depth, payload)
+
+    def _recover_worker(self, worker: int) -> None:
+        """Respawn shard worker *worker* seeded with its current shard state.
+
+        The replacement executor's initializer carries the shard's current
+        wire forms and the full interner flag snapshot — a complete re-seed,
+        which is also why a *desynchronised* worker (lost delta, corrupt
+        wire) is recoverable here: the respawn rebuilds the exact state an
+        uninterrupted delta stream would have produced.  The parent-side
+        delta bookkeeping is re-anchored to what the fresh seed contains.
+        """
+        terminate_executor(self._workers[worker])
+        snapshot = self.sharded.interner_snapshot(0)
+        self._workers[worker] = self._new_worker(worker, snapshot)
+        self._watermarks[worker] = snapshot[1]
+        relations = self.sharded.shard_relations()
+        self._generations[worker] = {name: rel.generation for name, rel in relations.items()}
+        self._shipped_rows[worker] = {
+            name: len(rel.shards[worker]) for name, rel in relations.items()
+        }
+
     def warm(self) -> None:
         """Spawn and seed every shard worker now (benchmarks time depths, not forking)."""
-        empty: tuple = (None, (), (), (), (), ())
+        empty: tuple = (None, (), (), (), (), (), None)
+        timeout = self.supervisor.deadline_policy.timeout_for(0)
         for future in [worker.submit(_run_depth, empty) for worker in self._workers]:
-            future.result()
+            future.result(timeout=timeout)
 
     def close(self) -> None:
-        """Shut the shard workers down; the fan-out is unusable afterwards."""
+        """Shut the shard workers down; the fan-out is unusable afterwards.
+
+        Idempotent and hard-terminating, like :meth:`ProcessFanout.close` —
+        the chase's fallback detach closes the whole pool, healthy shard
+        workers included, instead of leaking them to interpreter exit.
+        """
         if self._closed:
             return
         self._closed = True
         for worker in self._workers:
-            worker.shutdown(wait=False, cancel_futures=True)
+            terminate_executor(worker)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self._closed else "open"

@@ -67,6 +67,7 @@ from ..db.tuples import Tuple
 from ..similarity.index import SimilarityIndex
 from .config import DLearnConfig
 from .problem import Example, LearningProblem
+from .supervision import FanoutFault, FanoutFaultError, FaultCounters
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .fanout import SaturationFanout, SerialShardScatter
@@ -367,6 +368,10 @@ class FrontierChase:
         #: Attached shard scatter plane (:meth:`attach_shard_scatter`);
         #: ``None`` keeps every depth on the unsharded prefetch.
         self._shard_scatter: "SaturationFanout | SerialShardScatter | None" = None
+        #: Fault/retry/recovery counters of the last *supervised* scatter
+        #: plane attached here.  Kept past detachment (the plane is closed
+        #: then), so session observability survives the pool it describes.
+        self._scatter_counters: FaultCounters | None = None
 
     # ------------------------------------------------------------------ #
     # public entry points
@@ -455,6 +460,14 @@ class FrontierChase:
                 "session has no per-depth barrier to scatter"
             )
         self._shard_scatter = scatter
+        supervisor = getattr(scatter, "supervisor", None)
+        if supervisor is not None:
+            self._scatter_counters = supervisor.counters
+
+    @property
+    def fault_counters(self) -> FaultCounters | None:
+        """Counters of the last supervised scatter plane (``None`` before one)."""
+        return self._scatter_counters
 
     def invalidate(self) -> None:
         """Drop every database-derived memo after an in-place mutation.
@@ -567,11 +580,17 @@ class FrontierChase:
         """One depth's probes through the attached shard scatter plane.
 
         Frontier and probe keys travel sorted (deterministic wire payloads).
-        A structurally broken scatter — worker pool died, payload refused to
-        pickle — detaches itself with a ``RuntimeWarning`` and returns
+        A *supervised* scatter (:class:`~repro.core.fanout.SaturationFanout`)
+        recovers crashed/hung/desynchronised workers internally; only a
+        terminal :class:`~repro.core.supervision.FanoutFaultError` reaches
+        here, where the fault policy decides — ``"raise"`` propagates,
+        every other mode closes the plane, detaches it with a structured
+        :class:`~repro.core.supervision.FanoutFault` warning and returns
         ``None`` so the caller falls through to the always-correct unsharded
-        path; a *desynchronised* worker (lost interner delta) raises instead,
-        because silently recomputing would mask a protocol bug.
+        path.  A structurally broken *unsupervised* scatter — worker pool
+        died, payload refused to pickle — detaches the same way with a
+        ``RuntimeWarning``; a *desynchronised* unsupervised worker raises
+        instead, because silently recomputing would mask a protocol bug.
         """
         scatter = self._shard_scatter
         assert scatter is not None
@@ -589,16 +608,44 @@ class FrontierChase:
                     for relation, attribute, keys in equal_probes
                 ),
             )
+        except FanoutFaultError as fault:
+            if self.config.fault_policy.mode == "raise":
+                raise
+            self._detach_scatter(scatter)
+            warnings.warn(
+                FanoutFault(
+                    f"sharded chase scatter demoted after a terminal {fault.kind} "
+                    f"fault ({fault}); falling back to the unsharded chase",
+                    kind=fault.kind,
+                    pool=fault.pool or "saturation",
+                    attempt=fault.attempt,
+                ),
+                stacklevel=4,
+            )
+            return None
         except (BrokenProcessPool, pickle.PicklingError, OSError) as error:
+            self._detach_scatter(scatter)
             warnings.warn(
                 f"sharded chase scatter failed ({error!r}); detaching and "
                 "falling back to the unsharded chase",
                 RuntimeWarning,
                 stacklevel=4,
             )
-            self._shard_scatter = None
             return None
         return _DepthTables(membership, equality)
+
+    def _detach_scatter(self, scatter: "SaturationFanout | SerialShardScatter") -> None:
+        """Drop a faulted scatter plane: close every worker, record the demotion.
+
+        Closing applies to attached planes too — a demoted plane is unusable
+        either way, leaving its workers up leaked process handles, and the
+        owning preparation rebuilds closed planes on demand.
+        """
+        self._shard_scatter = None
+        supervisor = getattr(scatter, "supervisor", None)
+        if supervisor is not None:
+            supervisor.counters.demotions += 1
+        scatter.close()
 
     # ------------------------------------------------------------------ #
     # per-example chase mechanics (shared by every path)

@@ -45,6 +45,7 @@ from ..logic.subsumption import SubsumptionChecker
 from ..similarity.composite import SimilarityOperator
 from ..similarity.index import SimilarityIndex, SimilarityMatch
 from ..similarity.qgrams import QGramBlocker
+from ..testing.chaos import ChaosInjector, ChaosSpec
 from .bottom_clause import BottomClauseBuilder, ClauseAssembler
 from .config import DLearnConfig
 from .coverage import CoverageEngine
@@ -52,6 +53,7 @@ from .fanout import ProcessFanout, SaturationFanout, SerialShardScatter, checker
 from .generalization import Generalizer
 from .problem import Example, ExampleSet, LearningProblem
 from .saturation import DatabaseProbeCache, FrontierChase, SaturationCache
+from .supervision import DeadlinePolicy, FaultPolicy
 
 __all__ = ["DatabasePreparation", "LearningSession"]
 
@@ -244,22 +246,45 @@ class DatabasePreparation:
         return cls(problem.database, problem.target, problem.similarity_operator)
 
     # ------------------------------------------------------------------ #
-    def process_fanout(self, checker: SubsumptionChecker, n_jobs: int) -> ProcessFanout:
+    def process_fanout(
+        self,
+        checker: SubsumptionChecker,
+        n_jobs: int,
+        *,
+        fault_policy: FaultPolicy | None = None,
+        deadline_policy: DeadlinePolicy | None = None,
+        chaos: ChaosSpec | None = None,
+    ) -> ProcessFanout:
         """The shared process fan-out pool for sessions over this database.
 
-        Memoised per (worker count, checker parameters): every session over
-        one preparation compiles through the same
-        :class:`~repro.logic.compiled.ClauseCompiler`, so their compiled
-        forms reference one interner and can share one seeded worker pool —
-        folds and prediction sessions reuse already-shipped clause forms
-        instead of re-seeding processes per session.  Worker processes spawn
-        lazily on first dispatch, so an unused pool costs nothing.
+        Memoised per (worker count, checker parameters, supervision
+        policies): every session over one preparation compiles through the
+        same :class:`~repro.logic.compiled.ClauseCompiler`, so their
+        compiled forms reference one interner and can share one seeded
+        worker pool — folds and prediction sessions reuse already-shipped
+        clause forms instead of re-seeding processes per session.  Worker
+        processes spawn lazily on first dispatch, so an unused pool costs
+        nothing.  A demoted (closed) pool is rebuilt on the next request,
+        with a fresh chaos injector when a spec is given.
         """
         params = checker_params(checker)
-        key = (n_jobs, tuple(sorted(params.items(), key=lambda item: item[0])))
+        key = (
+            n_jobs,
+            tuple(sorted(params.items(), key=lambda item: item[0])),
+            fault_policy,
+            deadline_policy,
+            chaos,
+        )
         fanout = self._fanouts.get(key)
         if fanout is None or fanout._closed:
-            fanout = ProcessFanout(self.compiler.terms, params, n_jobs)
+            fanout = ProcessFanout(
+                self.compiler.terms,
+                params,
+                n_jobs,
+                fault_policy=fault_policy,
+                deadline_policy=deadline_policy,
+                chaos=ChaosInjector(chaos) if chaos is not None else None,
+            )
             self._fanouts[key] = fanout
         return fanout
 
@@ -279,24 +304,40 @@ class DatabasePreparation:
             self._sharded[shard_count] = sharded
         return sharded
 
-    def shard_scatter(self, shard_count: int, backend: str) -> SaturationFanout | SerialShardScatter:
+    def shard_scatter(
+        self,
+        shard_count: int,
+        backend: str,
+        *,
+        fault_policy: FaultPolicy | None = None,
+        deadline_policy: DeadlinePolicy | None = None,
+        chaos: ChaosSpec | None = None,
+    ) -> SaturationFanout | SerialShardScatter:
         """The shared per-depth scatter plane over ``shard_count`` shards.
 
         ``backend == "process"`` builds (and memoises) a
         :class:`~repro.core.fanout.SaturationFanout` — seeded shard worker
         processes answering each depth's probes GIL-free; any other backend
         gets the in-process :class:`~repro.core.fanout.SerialShardScatter`
-        over the same shards.  Memoised per (shard count, plane) so folds
-        and prediction sessions share one seeded pool, mirroring
-        :meth:`process_fanout`.
+        over the same shards.  Memoised per (shard count, plane, supervision
+        policies) so folds and prediction sessions share one seeded pool,
+        mirroring :meth:`process_fanout`; demoted (closed) planes are
+        rebuilt on the next request.
         """
         kind = "process" if backend == "process" else "serial"
-        key = (shard_count, kind)
+        key = (shard_count, kind, fault_policy, deadline_policy, chaos)
         scatter = self._scatters.get(key)
         if scatter is None or scatter._closed:
             sharded = self.sharded_instance(shard_count)
             scatter = (
-                SaturationFanout(sharded) if kind == "process" else SerialShardScatter(sharded)
+                SaturationFanout(
+                    sharded,
+                    fault_policy=fault_policy,
+                    deadline_policy=deadline_policy,
+                    chaos=ChaosInjector(chaos) if chaos is not None else None,
+                )
+                if kind == "process"
+                else SerialShardScatter(sharded)
             )
             self._scatters[key] = scatter
         return scatter
@@ -418,7 +459,13 @@ class LearningSession:
             # engine falls back to the thread backend on first dispatch.
             try:
                 self.engine.attach_fanout(
-                    self.preparation.process_fanout(self.engine.checker, config.n_jobs)
+                    self.preparation.process_fanout(
+                        self.engine.checker,
+                        config.n_jobs,
+                        fault_policy=config.fault_policy,
+                        deadline_policy=config.deadline_policy,
+                        chaos=config.chaos,
+                    )
                 )
             except (OSError, PermissionError, ValueError):
                 pass  # the engine's own _ensure_fanout will warn and fall back
@@ -429,7 +476,13 @@ class LearningSession:
             # spawning — fall back to the (always-correct) unsharded chase.
             try:
                 self.chase.attach_shard_scatter(
-                    self.preparation.shard_scatter(config.shard_count, config.parallel_backend)
+                    self.preparation.shard_scatter(
+                        config.shard_count,
+                        config.parallel_backend,
+                        fault_policy=config.fault_policy,
+                        deadline_policy=config.deadline_policy,
+                        chaos=config.chaos,
+                    )
                 )
             except (OSError, PermissionError, ValueError) as error:
                 warnings.warn(
@@ -489,3 +542,25 @@ class LearningSession:
     def warm_saturation(self, examples: Sequence[Example]) -> None:
         """Saturate *examples* in one batched chase (drop-in for lazy warm-up)."""
         self.chase.relevant_many(examples)
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def fault_stats(self) -> dict[str, dict[str, object] | None]:
+        """Fault/retry/recovery counters of the session's supervised pools.
+
+        One entry per pool plane — ``"coverage"`` (the coverage engine's
+        process fan-out) and ``"saturation"`` (the chase's shard scatter) —
+        each a plain-dict snapshot of
+        :class:`~repro.core.supervision.FaultCounters` (``faults`` by kind,
+        ``retries``, ``recoveries``, ``demotions``, ``recovery_seconds``),
+        or ``None`` where no supervised pool was ever attached.  Counters
+        survive demotion, so a session that fell back mid-``fit`` still
+        reports what its pool went through.
+        """
+        coverage = self.engine.fault_counters
+        saturation = self.chase.fault_counters
+        return {
+            "coverage": coverage.as_dict() if coverage is not None else None,
+            "saturation": saturation.as_dict() if saturation is not None else None,
+        }

@@ -252,12 +252,36 @@ class RelationShard:
 
     @classmethod
     def from_wire(cls, wire: ShardWire) -> "RelationShard":
-        """Rebuild a shard (columns and indexes) from its wire form."""
-        name, shard_index, column_bytes, global_bytes = wire
+        """Rebuild a shard (columns and indexes) from its wire form.
+
+        Validates the payload's shape before touching storage: a corrupted
+        or truncated wire (chaos injection, a half-written transport) must
+        fail loudly at registration — a ``desync`` fault the supervisor can
+        classify and recover — instead of seeding a worker with garbage it
+        would silently prove wrong answers from.
+        """
+        try:
+            name, shard_index, column_bytes, global_bytes = wire
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"corrupt shard wire: expected a 4-tuple, got {wire!r}") from error
+        if not isinstance(name, str) or not isinstance(shard_index, int):
+            raise ValueError(f"corrupt shard wire for {name!r}: malformed header")
         shard = cls(name, len(column_bytes), shard_index)
         for column, buffer in zip(shard._columns, column_bytes):
             column.frombytes(buffer)
         shard._global_rows.frombytes(global_bytes)
+        row_count = len(shard._global_rows)
+        if any(len(column) != row_count for column in shard._columns):
+            raise ValueError(
+                f"corrupt shard wire for {name!r}: column lengths disagree with the row count"
+            )
+        if any(
+            shard._global_rows[local] >= shard._global_rows[local + 1]
+            for local in range(row_count - 1)
+        ):
+            raise ValueError(
+                f"corrupt shard wire for {name!r}: global rows are not strictly ascending"
+            )
         columns = shard._columns
         for local, global_row in enumerate(shard._global_rows):
             shard._index_row(

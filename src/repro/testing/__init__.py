@@ -1,0 +1,11 @@
+"""Test-support machinery shipped with the library.
+
+:mod:`repro.testing.chaos` is the deterministic fault injector the chaos
+suite and the fault-tolerance benchmark drive the supervised fan-out planes
+with.  It lives in ``src`` (not ``tests/``) so the benchmark, the CI smoke
+job and external integration tests can all import one canonical injector.
+"""
+
+from .chaos import ChaosInjector, ChaosSpec, chaos_from_env
+
+__all__ = ["ChaosInjector", "ChaosSpec", "chaos_from_env"]

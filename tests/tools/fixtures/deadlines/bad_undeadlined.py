@@ -1,0 +1,19 @@
+"""FT01 fixture: bare future awaits — each blocks forever on a hung worker."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(task):
+    return task
+
+
+class Supervisor:
+    def __init__(self):
+        self._pool = ProcessPoolExecutor(max_workers=1)
+
+    def bare_await(self, task):
+        return self._pool.submit(work, task).result()
+
+    def bare_gather(self, tasks):
+        futures = [self._pool.submit(work, task) for task in tasks]
+        return [future.result() for future in futures]

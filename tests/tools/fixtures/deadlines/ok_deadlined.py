@@ -1,0 +1,28 @@
+"""FT01 fixture: every future await states its deadline."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(task):
+    return task
+
+
+class Supervisor:
+    def __init__(self, timeout):
+        self._timeout = timeout
+        self._pool = ProcessPoolExecutor(max_workers=1)
+
+    def keyword_timeout(self, tasks):
+        futures = [self._pool.submit(work, task) for task in tasks]
+        return [future.result(timeout=self._timeout) for future in futures]
+
+    def positional_timeout(self, task):
+        return self._pool.submit(work, task).result(30.0)
+
+    def policy_none_is_explicit(self, task):
+        # An unbounded wait is allowed when it is *stated* — the policy's
+        # escape hatch, not a forgotten deadline.
+        return self._pool.submit(work, task).result(timeout=None)
+
+    def unrelated_result_attributes_are_not_calls(self, outcome):
+        return outcome.result

@@ -52,7 +52,16 @@ def lint_fixture(relative: str, rule_id: str, options: dict | None = None):
 
 class TestRuleRegistry:
     def test_all_rules_registered(self):
-        assert set(all_rules()) == {"ID01", "ID02", "DT01", "TS01", "PF01", "CH01", "CH02"}
+        assert set(all_rules()) == {
+            "ID01",
+            "ID02",
+            "DT01",
+            "TS01",
+            "PF01",
+            "FT01",
+            "CH01",
+            "CH02",
+        }
 
     def test_checked_in_config_covers_every_rule(self):
         config = load_config()
@@ -147,6 +156,20 @@ class TestProcessSafetyRule:
         quiet = lint_fixture(
             "process_safety/bad_payloads.py", "PF01", {"executor_factories": ["SomethingElse"]}
         )
+        assert not quiet.violations
+
+
+class TestFutureDeadlinesRule:
+    def test_ft01_flags_bare_result_calls(self):
+        result = lint_fixture("deadlines/bad_undeadlined.py", "FT01")
+        assert len(result.violations) == 2
+        assert all("timeout" in v.message for v in result.violations)
+
+    def test_ft01_passes_keyword_positional_and_explicit_none(self):
+        assert not lint_fixture("deadlines/ok_deadlined.py", "FT01").violations
+
+    def test_ft01_method_names_are_configurable(self):
+        quiet = lint_fixture("deadlines/bad_undeadlined.py", "FT01", {"methods": ["gather"]})
         assert not quiet.violations
 
 
@@ -265,7 +288,7 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("ID01", "ID02", "DT01", "TS01", "PF01", "CH01", "CH02"):
+        for rule_id in ("ID01", "ID02", "DT01", "TS01", "PF01", "FT01", "CH01", "CH02"):
             assert rule_id in out
 
     def test_unknown_rule_is_a_usage_error(self, capsys):

@@ -114,6 +114,9 @@ _DEFAULT_RULES: dict[str, dict[str, Any]] = {
         "executor_factories": ["ProcessPoolExecutor"],
         "lock_names": ["_lock", "_verdict_lock", "_cache_lock", "lock"],
     }},
+    "FT01": {"paths": ["src/repro/core/*", "src/repro/db/*"], "options": {
+        "methods": ["result"],
+    }},
     "CH01": {"paths": ["src/*", "tools/*", "tests/*", "benchmarks/*", "examples/*"]},
     "CH02": {"paths": ["src/repro/core/*", "src/repro/logic/*", "src/repro/similarity/*", "src/repro/db/*"], "options": {
         "cache_name_pattern": "cache",

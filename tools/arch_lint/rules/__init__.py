@@ -39,4 +39,11 @@ def rule_by_id(rule_id: str) -> Rule:
 
 
 # Import order defines nothing semantic; modules register on import.
-from . import cache_hygiene, determinism, id_plane, process_safety, thread_safety  # noqa: E402,F401
+from . import (  # noqa: E402,F401
+    cache_hygiene,
+    deadlines,
+    determinism,
+    id_plane,
+    process_safety,
+    thread_safety,
+)

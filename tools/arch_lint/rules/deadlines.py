@@ -1,0 +1,60 @@
+"""Dispatch deadlines: awaiting a future must carry an explicit timeout.
+
+The supervision layer (:mod:`repro.core.supervision`) turns a hung worker
+into a recoverable *timeout* fault precisely because every await on a
+process-pool future states its deadline: ``future.result(timeout=...)``.
+A bare ``future.result()`` blocks forever — a worker wedged in a native
+extension, a deadlocked pipe, a lost SIGCHLD all become a silently hung
+learner instead of a killed-and-recovered worker.  The deadline itself
+comes from the session :class:`~repro.core.supervision.DeadlinePolicy`
+(``timeout_for``), so the policy's ``None`` escape hatch remains the one
+sanctioned way to wait unboundedly — explicitly, at the policy layer, not
+implicitly at a call site someone forgot.
+
+**FT01** flags every ``<expr>.result(...)`` call in the configured paths
+whose arguments do not include an explicit ``timeout`` — positionally
+(``concurrent.futures.Future.result`` takes it first) or as a keyword.
+The method-name match is deliberate: in the supervised planes everything
+named ``.result`` *is* a future await, and a false positive is fixed by
+naming the deadline, which is exactly the behaviour the rule exists to
+force.  Methods can be widened per-repo through the ``methods`` option.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import RuleConfig
+from . import register
+from .base import ModuleContext, RawViolation, Rule
+
+__all__ = ["FutureDeadlines"]
+
+
+@register
+class FutureDeadlines(Rule):
+    id = "FT01"
+    name = "future-deadlines"
+    description = (
+        "Awaiting a pool future must state its deadline: every .result(...) "
+        "call passes an explicit timeout (from the session DeadlinePolicy)."
+    )
+
+    def check(self, module: ModuleContext, config: RuleConfig) -> Iterator[RawViolation]:
+        methods = tuple(config.option("methods", ["result"]))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute) or node.func.attr not in methods:
+                continue
+            if node.args:
+                continue  # positional timeout (Future.result's first parameter)
+            if any(keyword.arg == "timeout" for keyword in node.keywords):
+                continue
+            yield self.violation(
+                node,
+                f".{node.func.attr}() without a timeout blocks forever on a hung "
+                "worker — pass timeout=<DeadlinePolicy.timeout_for(...)> so the "
+                "supervisor can classify and recover the stall",
+            )

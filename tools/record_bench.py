@@ -39,6 +39,7 @@ BENCHMARKS: dict[str, str] = {
     "kernels": "benchmarks/bench_binding_matrix.py",
     "parallel": "benchmarks/bench_parallel_fanout.py",
     "shard": "benchmarks/bench_shard_scale.py",
+    "faults": "benchmarks/bench_fault_tolerance.py",
 }
 
 #: Benchmarks whose headline numbers are parallel speed-ups: their records
